@@ -1,0 +1,192 @@
+// Command gnumap-snp maps FASTQ reads to a FASTA reference with the
+// probabilistic Pair-HMM engine and calls SNPs with the likelihood
+// ratio test, writing VCF to stdout or a file.
+//
+// Usage:
+//
+//	gnumap-snp -ref reference.fa -reads reads.fq -o calls.vcf \
+//	    [-diploid] [-alpha 0.05] [-fdr] [-memory norm|chardisc|centdisc] \
+//	    [-workers N] [-nodes N -split read|genome [-tcp]]
+//
+// With -nodes > 1 the run executes on a simulated message-passing
+// cluster (goroutine nodes; -tcp switches to loopback TCP), using the
+// paper's read-split or genome-split strategy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"gnumap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gnumap-snp: ")
+	var (
+		refPath   = flag.String("ref", "", "reference FASTA (required)")
+		readsPath = flag.String("reads", "", "reads FASTQ (required)")
+		outPath   = flag.String("o", "", "output VCF (default stdout)")
+		phred64   = flag.Bool("phred64", false, "reads use Phred+64 qualities")
+		diploid   = flag.Bool("diploid", false, "use the diploid LRT (heterozygous calls)")
+		alpha     = flag.Float64("alpha", 0.05, "family-wise significance level")
+		fdr       = flag.Bool("fdr", false, "Benjamini-Hochberg FDR control instead of the fixed cutoff")
+		memory    = flag.String("memory", "norm", "accumulator layout: norm, chardisc, centdisc")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
+		fit       = flag.Bool("fit", false, "fit PHMM parameters to the data (Baum-Welch) before mapping")
+		samPath   = flag.String("sam", "", "also write best alignments as SAM to this file (single-process mode only)")
+		pileupOut = flag.String("pileup", "", "also write the probability pileup as TSV to this file (single-process mode only)")
+		nodes     = flag.Int("nodes", 1, "simulated cluster size (1 = single process)")
+		split     = flag.String("split", "read", "cluster strategy: read (replicate genome) or genome (partition genome)")
+		tcp       = flag.Bool("tcp", false, "use loopback TCP between simulated nodes")
+	)
+	flag.Parse()
+	if *refPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mem, err := parseMemory(*memory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := gnumap.Sanger
+	if *phred64 {
+		enc = gnumap.Illumina13
+	}
+	reference, err := gnumap.LoadReference(*refPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := gnumap.LoadReads(*readsPath, enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := gnumap.Options{Memory: mem}
+	opts.Engine.Workers = *workers
+	if *fit {
+		sample := reads
+		if len(sample) > 2000 {
+			sample = sample[:2000]
+		}
+		params, err := gnumap.FitPHMM(reference, sample, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Engine.PHMM = params
+		fmt.Fprintf(os.Stderr, "fitted PHMM: TMM=%.4f TMG=%.5f\n", params.TMM, params.TMG)
+	}
+	opts.Caller.Alpha = *alpha
+	opts.Caller.UseFDR = *fdr
+	if *diploid {
+		opts.Caller.Ploidy = gnumap.Diploid
+	}
+
+	start := time.Now()
+	var calls []gnumap.SNPCall
+	var stats gnumap.MapStats
+	var qcStats *gnumap.CoverageStats
+	if *nodes > 1 {
+		splitMode := gnumap.ReadSplit
+		if *split == "genome" {
+			splitMode = gnumap.GenomeSplit
+		} else if *split != "read" {
+			log.Fatalf("unknown -split %q (want read or genome)", *split)
+		}
+		transport := gnumap.Channels
+		if *tcp {
+			transport = gnumap.TCP
+		}
+		calls, stats, err = gnumap.RunCluster(*nodes, transport, splitMode, reference, reads, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		p, err := gnumap.NewPipeline(reference, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err = p.MapReads(reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		calls, _, err = p.Call()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs := p.CoverageStats()
+		qcStats = &cs
+		if *samPath != "" {
+			if err := writeTo(*samPath, func(f *os.File) error {
+				return p.WriteSAM(f, reads)
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *pileupOut != "" {
+			if err := writeTo(*pileupOut, func(f *os.File) error {
+				return p.WritePileup(f, 2)
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := writeVCF(out, reference, calls); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mapped %d/%d reads (%d locations) in %s; %d SNPs\n",
+		stats.Mapped, stats.Mapped+stats.Unmapped, stats.Locations, elapsed.Round(time.Millisecond), len(calls))
+	if qcStats != nil {
+		qcStats.WriteText(os.Stderr)
+	}
+}
+
+// writeTo creates a file and hands it to fn.
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeVCF writes calls using the library's VCF writer.
+func writeVCF(out *os.File, reference []*gnumap.Contig, calls []gnumap.SNPCall) error {
+	p, err := gnumap.NewPipeline(reference, gnumap.Options{})
+	if err != nil {
+		return err
+	}
+	return p.WriteVCF(out, calls)
+}
+
+// parseMemory maps a flag value to a MemoryMode.
+func parseMemory(s string) (gnumap.MemoryMode, error) {
+	switch s {
+	case "norm":
+		return gnumap.MemNorm, nil
+	case "chardisc":
+		return gnumap.MemCharDisc, nil
+	case "centdisc":
+		return gnumap.MemCentDisc, nil
+	default:
+		return 0, fmt.Errorf("unknown -memory %q (want norm, chardisc, or centdisc)", s)
+	}
+}

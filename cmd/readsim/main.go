@@ -1,0 +1,98 @@
+// Command readsim generates simulated experiment data: a reference
+// FASTA, a mutated individual's reads as FASTQ, and the planted SNP
+// truth table (TSV) — the reproduction's stand-in for the paper's
+// hg19-chrX + dbSNP + MetaSim inputs.
+//
+// Usage:
+//
+//	readsim -out data/ -length 1000000 -snps 95 -coverage 12 -seed 1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gnumap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("readsim: ")
+	var (
+		out      = flag.String("out", "simdata", "output directory")
+		length   = flag.Int("length", 1_000_000, "reference length (bases)")
+		snps     = flag.Int("snps", 0, "number of planted SNPs (default: length/10500, the paper's density)")
+		het      = flag.Float64("het", 0, "fraction of SNPs heterozygous (diploid individual if > 0)")
+		coverage = flag.Float64("coverage", 12, "mean fold coverage")
+		readLen  = flag.Int("readlen", 62, "read length")
+		gc       = flag.Float64("gc", 0.41, "GC content")
+		tandem   = flag.Float64("tandem", 0.02, "tandem-repeat fraction")
+		disp     = flag.Float64("dispersed", 0.05, "dispersed-repeat fraction")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *snps == 0 {
+		*snps = *length / 10500 // 14,501 SNPs per 153 Mbp, as in the paper
+		if *snps < 1 {
+			*snps = 1
+		}
+	}
+	ds, err := gnumap.SimulateDataset(gnumap.SimConfig{
+		GenomeLength:            *length,
+		GC:                      *gc,
+		TandemRepeatFraction:    *tandem,
+		DispersedRepeatFraction: *disp,
+		SNPCount:                *snps,
+		HetFraction:             *het,
+		ReadLength:              *readLen,
+		Coverage:                *coverage,
+		Seed:                    *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	refPath := filepath.Join(*out, "reference.fa")
+	readsPath := filepath.Join(*out, "reads.fq")
+	truthPath := filepath.Join(*out, "truth.tsv")
+	if err := gnumap.WriteReference(refPath, ds.Reference); err != nil {
+		log.Fatal(err)
+	}
+	if err := gnumap.WriteReads(readsPath, ds.Reads, gnumap.Sanger); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeTruth(truthPath, ds.Truth); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference: %s (%d bp)\n", refPath, *length)
+	fmt.Printf("reads:     %s (%d reads, %.1fx)\n", readsPath, len(ds.Reads), *coverage)
+	fmt.Printf("truth:     %s (%d SNPs)\n", truthPath, len(ds.Truth))
+	fmt.Println()
+	if err := gnumap.SummarizeReads(ds.Reads).WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeTruth emits the planted catalog as "pos<TAB>ref<TAB>alt<TAB>het".
+func writeTruth(path string, truth []gnumap.TruthSNP) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "#pos\tref\talt\thet")
+	for _, s := range truth {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%v\n", s.Pos, s.Ref, s.Alt, s.Het)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,67 @@
+// Diploid example: the paper's §V-C diploid LRT (Eq. 2). Simulate a
+// heterozygous individual — every planted SNP present on only one of
+// the two haplotypes — and show that the diploid test recovers the
+// heterozygous genotypes while the monoploid test, whose alternative
+// hypothesis admits only a single dominant base, misses most of them.
+//
+//	go run ./examples/diploid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnumap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := gnumap.SimulateDataset(gnumap.SimConfig{
+		GenomeLength: 150_000,
+		SNPCount:     15,
+		HetFraction:  1.0, // every SNP heterozygous
+		Coverage:     20,  // het detection needs more depth
+		Seed:         11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diploid individual: %d heterozygous SNPs, %d reads\n\n",
+		len(ds.Truth), len(ds.Reads))
+
+	for _, ploidy := range []gnumap.Ploidy{gnumap.Monoploid, gnumap.Diploid} {
+		opts := gnumap.Options{}
+		opts.Caller.Ploidy = ploidy
+		p, err := gnumap.NewPipeline(ds.Reference, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := p.MapReads(ds.Reads); err != nil {
+			log.Fatal(err)
+		}
+		calls, _, err := p.Call()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := gnumap.Evaluate(calls, ds.Truth)
+		hets := 0
+		for _, c := range calls {
+			if c.Het {
+				hets++
+			}
+		}
+		fmt.Printf("%-10v test: %2d/%d SNPs recovered (%d flagged heterozygous, %d FP)\n",
+			ploidy, m.TP, len(ds.Truth), hets, m.FP)
+		if ploidy == gnumap.Diploid {
+			fmt.Println("\nheterozygous calls:")
+			for _, c := range calls {
+				if !c.Het {
+					continue
+				}
+				fmt.Printf("  %s:%d  %s -> %s/%s  (p = %.2e)\n",
+					c.Contig, c.Pos+1, c.Ref, c.Allele, c.Allele2, c.PValue)
+			}
+		}
+	}
+}

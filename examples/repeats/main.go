@@ -1,0 +1,96 @@
+// Repeats example: the paper's §II claims GNUMAP-SNP keeps its
+// sensitivity "especially in repeat regions" because multi-mapping
+// reads contribute marginal evidence to every plausible location,
+// while single-alignment pipelines either discard ambiguous reads or
+// assign them randomly. This example builds a genome with an exact
+// 2 kbp duplication, plants a SNP *inside one copy*, and compares the
+// marginal engine (with the diploid LRT, since copy-mixing makes the
+// site look heterozygous) against the MAQ-like baseline, which drops
+// every ambiguous read and goes blind inside the repeat.
+//
+//	go run ./examples/repeats
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnumap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Genome with an exact duplication: [70k, 72k) = [30k, 32k).
+	reference, err := gnumap.SimulateGenome(gnumap.SimConfig{GenomeLength: 100_000, Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := reference[0].Seq
+	copy(g[70_000:72_000], g[30_000:32_000])
+
+	// 2. Truth: SNPs in unique sequence plus one inside the first copy
+	// of the duplication.
+	positions := []int{10_000, 31_000, 50_000, 90_000}
+	truth, err := gnumap.PlantSNPs(reference, positions, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Sequence the individual from the duplicated, mutated genome.
+	reads, err := gnumap.SimulateReadsFrom(reference, truth, gnumap.SimConfig{Coverage: 14, Seed: 34})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("genome: 100 kbp with an exact 2 kbp duplication (70k == 30k)\n")
+	fmt.Printf("planted SNPs at %v — 31000 sits inside the repeat\n", positions)
+	fmt.Printf("reads: %d at 14x\n\n", len(reads))
+
+	report := func(name string, calls []gnumap.SNPCall) {
+		m := gnumap.Evaluate(calls, truth)
+		repeatHit := "MISSED"
+		for _, c := range calls {
+			if c.GlobalPos == 31_000 {
+				zyg := "hom"
+				if c.Het {
+					zyg = "het"
+				}
+				repeatHit = fmt.Sprintf("called %s->%s (%s, depth %.1f)", c.Ref, c.AltAllele(), zyg, c.Depth)
+			}
+		}
+		fmt.Printf("%-28s TP=%d/%d FP=%d; repeat SNP: %s\n", name, m.TP, len(truth), m.FP, repeatHit)
+	}
+
+	// GNUMAP-SNP: marginal multi-mapping + diploid LRT. Inside an exact
+	// repeat the two copies' contents blend 50/50 at both locations, so
+	// the mutated copy reads as ref/alt — exactly the signature the
+	// heterozygous alternative detects.
+	opts := gnumap.Options{Caller: gnumap.CallerConfig{Ploidy: gnumap.Diploid}}
+	p, err := gnumap.NewPipeline(reference, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.MapReads(reads); err != nil {
+		log.Fatal(err)
+	}
+	calls, _, err := p.Call()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("GNUMAP-SNP (marginal)", calls)
+
+	// MAQ-like baseline: ambiguous reads have mapping quality 0 and are
+	// discarded, so the entire duplication loses its coverage.
+	bres, err := gnumap.RunBaseline(reference, reads, gnumap.BaselineConfig{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("MAQ-like (single best hit)", bres.Calls)
+	fmt.Printf("\nbaseline discarded %d/%d reads (every read inside the repeat)\n",
+		bres.Discarded, bres.Mapped+bres.Discarded)
+	fmt.Println("\nThe marginal engine blends each ambiguous read across both copies,")
+	fmt.Println("so the mutated copy keeps half the alternate-allele mass and the")
+	fmt.Println("diploid LRT flags it (as a het site — the copies are merged). The")
+	fmt.Println("baseline's mapQ filter removes those reads entirely: no call is")
+	fmt.Println("possible anywhere inside the duplication.")
+}

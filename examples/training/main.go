@@ -1,0 +1,71 @@
+// Training example: the paper fixes its Pair-HMM parameters; this
+// example fits them to the data with Baum-Welch (gnumap.FitPHMM) and
+// shows the fitted parameters tracking the sequencer's actual error
+// profile. Two simulated runs — a clean library and a noisy, indel-rich
+// one — produce visibly different fitted transition and emission
+// parameters, and mapping with matched parameters preserves accuracy.
+//
+//	go run ./examples/training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnumap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	type scenario struct {
+		name string
+		cfg  gnumap.SimConfig
+	}
+	scenarios := []scenario{
+		{"clean library (0.2-2% errors)", gnumap.SimConfig{
+			GenomeLength: 120_000, SNPCount: 10, Coverage: 10,
+			ErrStart: 0.002, ErrEnd: 0.02, Seed: 21,
+		}},
+		{"noisy library (1-8% errors)", gnumap.SimConfig{
+			GenomeLength: 120_000, SNPCount: 10, Coverage: 10,
+			ErrStart: 0.01, ErrEnd: 0.08, Seed: 22,
+		}},
+	}
+	def := gnumap.DefaultPHMMParams()
+	fmt.Printf("default parameters: TMM=%.4f TMG=%.4f  match diag=%.3f\n\n", def.TMM, def.TMG, def.Match[0][0])
+
+	for _, sc := range scenarios {
+		ds, err := gnumap.SimulateDataset(sc.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params, err := gnumap.FitPHMM(ds.Reference, ds.Reads[:1000], 300)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diag := (params.Match[0][0] + params.Match[1][1] + params.Match[2][2] + params.Match[3][3]) / 4
+		fmt.Printf("%s:\n", sc.name)
+		fmt.Printf("  fitted: TMM=%.4f TMG=%.5f  mean match diag=%.3f\n", params.TMM, params.TMG, diag)
+
+		// Map with the fitted parameters and evaluate.
+		opts := gnumap.Options{}
+		opts.Engine.PHMM = params
+		p, err := gnumap.NewPipeline(ds.Reference, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := p.MapReads(ds.Reads); err != nil {
+			log.Fatal(err)
+		}
+		calls, _, err := p.Call()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := gnumap.Evaluate(calls, ds.Truth)
+		fmt.Printf("  mapping with fitted params: TP=%d/%d FP=%d\n\n", m.TP, len(ds.Truth), m.FP)
+	}
+	fmt.Println("The noisy library fits a visibly lower match diagonal (the model")
+	fmt.Println("learned the error rate); accuracy holds because the LRT normalizes")
+	fmt.Println("per-position evidence regardless of the absolute emission scale.")
+}

@@ -1,0 +1,557 @@
+// Package gnumap is the public API of the GNUMAP-SNP reproduction: a
+// probabilistic Pair-Hidden-Markov-Model read mapper and SNP caller
+// with likelihood-ratio-test significance, parallel on shared memory
+// and on a simulated message-passing cluster, with the paper's three
+// accumulator memory layouts (NORM, CHARDISC, CENTDISC).
+//
+// # Quick start
+//
+//	ds, _ := gnumap.SimulateDataset(gnumap.SimConfig{GenomeLength: 100000, SNPCount: 10, Coverage: 12, Seed: 1})
+//	p, _ := gnumap.NewPipeline(ds.Reference, gnumap.Options{})
+//	p.MapReads(ds.Reads)
+//	calls, _, _ := p.Call()
+//	fmt.Println(gnumap.Evaluate(calls, ds.Truth))
+//
+// The heavy lifting lives in internal packages (phmm, genome, lrt,
+// cluster, ...); this package wires them together and re-exports the
+// types a downstream user needs.
+package gnumap
+
+import (
+	"fmt"
+	"io"
+
+	"gnumap/internal/baseline"
+	"gnumap/internal/cluster"
+	"gnumap/internal/core"
+	"gnumap/internal/dna"
+	"gnumap/internal/fasta"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+	"gnumap/internal/lrt"
+	"gnumap/internal/phmm"
+	"gnumap/internal/qc"
+	"gnumap/internal/simulate"
+	"gnumap/internal/snp"
+)
+
+// Read is one sequencing read (name, bases, Phred qualities).
+type Read = fastq.Read
+
+// Contig is one named reference sequence.
+type Contig = fasta.Record
+
+// SNPCall is one called variant.
+type SNPCall = snp.Call
+
+// Metrics is the TP/FP/FN accuracy accounting against a truth set.
+type Metrics = snp.Metrics
+
+// TruthSNP is one planted variant of a simulated dataset.
+type TruthSNP = simulate.SNP
+
+// EngineConfig tunes the mapper (see internal/core.Config for fields;
+// the zero value selects paper defaults).
+type EngineConfig = core.Config
+
+// MapStats counts mapping outcomes.
+type MapStats = core.Stats
+
+// CallerConfig tunes SNP calling (significance level, ploidy, FDR).
+type CallerConfig = snp.Config
+
+// CallStats summarizes a calling run.
+type CallStats = snp.Stats
+
+// MemoryMode selects the accumulator layout.
+type MemoryMode = genome.Mode
+
+// The accumulator memory layouts (paper §VI-B).
+const (
+	MemNorm     = genome.Norm
+	MemCharDisc = genome.CharDisc
+	MemCentDisc = genome.CentDisc
+)
+
+// Ploidy selects the LRT hypothesis family.
+type Ploidy = lrt.Ploidy
+
+// The ploidy models (paper Eq. 1 and Eq. 2).
+const (
+	Monoploid = lrt.Monoploid
+	Diploid   = lrt.Diploid
+)
+
+// QualityEncoding selects the FASTQ quality encoding.
+type QualityEncoding = fastq.Encoding
+
+// The supported FASTQ quality encodings.
+const (
+	Sanger     = fastq.Sanger
+	Illumina13 = fastq.Illumina13
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Engine tunes mapping; zero value = paper defaults.
+	Engine EngineConfig
+	// Memory selects the accumulator layout (default MemNorm).
+	Memory MemoryMode
+	// Caller tunes SNP calling; zero value = monoploid, α = 0.05.
+	Caller CallerConfig
+}
+
+// Pipeline is a reference plus mapping and calling state: build one,
+// feed it reads (possibly in several MapReads calls — accumulation is
+// online), then Call.
+type Pipeline struct {
+	ref  *genome.Reference
+	eng  *core.Engine
+	acc  genome.Accumulator
+	opts Options
+}
+
+// NewPipeline indexes the reference and allocates the accumulator.
+func NewPipeline(reference []*Contig, opts Options) (*Pipeline, error) {
+	ref, err := genome.NewReference(reference)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(ref, opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := genome.New(opts.Memory, ref.Len())
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{ref: ref, eng: eng, acc: acc, opts: opts}, nil
+}
+
+// MapReads maps a batch of reads into the pipeline's accumulator using
+// the shared-memory worker pool. It may be called repeatedly.
+func (p *Pipeline) MapReads(reads []*Read) (MapStats, error) {
+	return p.eng.MapReads(reads, p.acc, 0)
+}
+
+// Call runs the likelihood-ratio SNP caller over the accumulated state.
+func (p *Pipeline) Call() ([]SNPCall, CallStats, error) {
+	return snp.CallAll(p.ref, p.acc, p.opts.Caller)
+}
+
+// WriteVCF writes calls as VCF 4.2.
+func (p *Pipeline) WriteVCF(w io.Writer, calls []SNPCall) error {
+	return snp.WriteVCF(w, calls, "gnumap-snp")
+}
+
+// WriteSAM maps the reads again and writes each read's single best
+// alignment as SAM (Viterbi path of the highest-posterior location).
+// Note this is a separate pass: the accumulation pipeline marginalizes
+// over alignments and does not retain per-read paths.
+func (p *Pipeline) WriteSAM(w io.Writer, reads []*Read) error {
+	return p.eng.WriteAlignments(w, reads, "gnumap-snp")
+}
+
+// WritePileup writes the per-position probability pileup as TSV for
+// positions with at least minDepth accumulated mass.
+func (p *Pipeline) WritePileup(w io.Writer, minDepth float64) error {
+	return snp.WritePileup(w, p.ref, p.acc, 0, 0, p.ref.Len(), minDepth)
+}
+
+// SaveState serializes the pipeline's accumulated per-position state
+// so a long accumulation run can be checkpointed and resumed (or moved
+// between machines).
+func (p *Pipeline) SaveState(w io.Writer) error {
+	st, ok := p.acc.(genome.Stateful)
+	if !ok {
+		return fmt.Errorf("gnumap: memory mode %v is not serializable", p.acc.Mode())
+	}
+	data, err := st.State()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadState restores state saved by SaveState into a pipeline built
+// with the same reference and memory mode, replacing any accumulation
+// done so far. Further MapReads calls continue from the restored state.
+func (p *Pipeline) LoadState(r io.Reader) error {
+	st, ok := p.acc.(genome.Stateful)
+	if !ok {
+		return fmt.Errorf("gnumap: memory mode %v is not serializable", p.acc.Mode())
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return st.LoadStateBytes(data)
+}
+
+// ReferenceLength returns the total reference length.
+func (p *Pipeline) ReferenceLength() int { return p.ref.Len() }
+
+// AccumulatorMemoryBytes reports the accumulator footprint (the
+// paper's Table II quantity).
+func (p *Pipeline) AccumulatorMemoryBytes() int64 { return p.acc.MemoryBytes() }
+
+// IndexMemoryBytes reports the k-mer index footprint.
+func (p *Pipeline) IndexMemoryBytes() int64 { return p.eng.IndexMemoryBytes() }
+
+// PHMMParams is the Pair-HMM parameter set (transitions and the match
+// emission matrix). Set Options.Engine.PHMM to override the defaults,
+// e.g. with parameters fitted by FitPHMM.
+type PHMMParams = phmm.Params
+
+// DefaultPHMMParams returns the paper-default parameter set.
+func DefaultPHMMParams() PHMMParams { return phmm.DefaultParams() }
+
+// FitPHMM estimates Pair-HMM parameters from the data itself: it maps
+// the given reads, keeps confidently uniquely mapped ones as training
+// alignments, and runs Baum-Welch (EM) from the default parameters.
+// maxPairs bounds the training set (0 = all confident reads; a few
+// hundred suffice). The fitted parameters plug into
+// Options.Engine.PHMM for a subsequent mapping pipeline.
+func FitPHMM(reference []*Contig, reads []*Read, maxPairs int) (PHMMParams, error) {
+	ref, err := genome.NewReference(reference)
+	if err != nil {
+		return PHMMParams{}, err
+	}
+	eng, err := core.NewEngine(ref, core.Config{})
+	if err != nil {
+		return PHMMParams{}, err
+	}
+	pairs, err := eng.CollectTrainingPairs(reads, maxPairs, 0.99)
+	if err != nil {
+		return PHMMParams{}, err
+	}
+	res, err := phmm.Fit(pairs, phmm.DefaultParams(), phmm.TrainOptions{})
+	if err != nil {
+		return PHMMParams{}, err
+	}
+	return res.Params, nil
+}
+
+// ReadStats summarizes a read set (see internal/qc).
+type ReadStats = qc.ReadStats
+
+// CoverageStats summarizes accumulated mapping depth (see internal/qc).
+type CoverageStats = qc.CoverageStats
+
+// SummarizeReads computes QC statistics for a read set.
+func SummarizeReads(reads []*Read) ReadStats {
+	return qc.SummarizeReads(reads)
+}
+
+// CoverageStats summarizes the pipeline's accumulated depth after
+// MapReads.
+func (p *Pipeline) CoverageStats() CoverageStats {
+	return qc.SummarizeCoverage(p.acc, 64)
+}
+
+// Allele is a called base channel (A, C, G, T, or gap).
+type Allele = dna.Channel
+
+// AlleleOf converts a truth SNP's base code to the channel type used
+// by SNPCall, for comparing calls against planted alleles.
+func AlleleOf(base dna.Code) Allele { return dna.Channel(base) }
+
+// Evaluate scores calls against a planted truth set.
+func Evaluate(calls []SNPCall, truth []TruthSNP) Metrics {
+	return snp.Evaluate(calls, truth)
+}
+
+// LoadReference reads a FASTA reference file.
+func LoadReference(path string) ([]*Contig, error) {
+	return fasta.ReadFile(path)
+}
+
+// LoadReads reads a FASTQ file.
+func LoadReads(path string, enc QualityEncoding) ([]*Read, error) {
+	return fastq.ReadFile(path, enc)
+}
+
+// WriteReference writes contigs as FASTA.
+func WriteReference(path string, contigs []*Contig) error {
+	return fasta.WriteFile(path, contigs)
+}
+
+// WriteReads writes reads as FASTQ.
+func WriteReads(path string, reads []*Read, enc QualityEncoding) error {
+	return fastq.WriteFile(path, reads, enc)
+}
+
+// SimConfig configures SimulateDataset.
+type SimConfig struct {
+	// GenomeLength is the reference length (required).
+	GenomeLength int
+	// GC is the target GC content (default 0.41).
+	GC float64
+	// TandemRepeatFraction / DispersedRepeatFraction plant repeat
+	// structure (default none).
+	TandemRepeatFraction    float64
+	DispersedRepeatFraction float64
+	// SNPCount plants this many evenly spaced SNPs (required).
+	SNPCount int
+	// HetFraction makes this share of SNPs heterozygous; non-zero
+	// implies a diploid individual.
+	HetFraction float64
+	// ReadLength (default 62, the paper's) and Coverage (default 12)
+	// control sequencing.
+	ReadLength int
+	Coverage   float64
+	// ErrStart/ErrEnd set the Illumina-like error ramp (defaults
+	// 0.002 → 0.02).
+	ErrStart, ErrEnd float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Dataset is a complete simulated experiment.
+type Dataset struct {
+	// Reference is the unmutated reference the mapper sees.
+	Reference []*Contig
+	// Truth is the planted SNP catalog (positions are global, which
+	// for the single simulated contig equals contig-relative).
+	Truth []TruthSNP
+	// Reads are sequenced from the mutated individual.
+	Reads []*Read
+}
+
+// SimulateDataset builds a reference, plants SNPs, and sequences reads
+// from the mutated individual — the reproduction's stand-in for the
+// paper's hg19-chrX + dbSNP + MetaSim setup.
+func SimulateDataset(cfg SimConfig) (*Dataset, error) {
+	g, err := simulate.Genome(simulate.GenomeConfig{
+		Length:                  cfg.GenomeLength,
+		GC:                      cfg.GC,
+		TandemRepeatFraction:    cfg.TandemRepeatFraction,
+		DispersedRepeatFraction: cfg.DispersedRepeatFraction,
+		Seed:                    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := simulate.Catalog(g, simulate.CatalogConfig{
+		Count:       cfg.SNPCount,
+		HetFraction: cfg.HetFraction,
+		Seed:        cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ind, err := simulate.Mutate(g, cat, cfg.HetFraction > 0)
+	if err != nil {
+		return nil, err
+	}
+	readLen := cfg.ReadLength
+	if readLen == 0 {
+		readLen = 62
+	}
+	coverage := cfg.Coverage
+	if coverage == 0 {
+		coverage = 12
+	}
+	reads, err := simulate.Reads(ind, simulate.ReadConfig{
+		Length:   readLen,
+		Coverage: coverage,
+		ErrStart: cfg.ErrStart,
+		ErrEnd:   cfg.ErrEnd,
+		Seed:     cfg.Seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Reference: []*Contig{{Name: "sim", Seq: g}},
+		Truth:     cat,
+		Reads:     reads,
+	}, nil
+}
+
+// BaselineConfig tunes the comparator pipelines (see
+// internal/baseline.Config; zero value = MAQ-flavoured defaults).
+type BaselineConfig = baseline.Config
+
+// BaselineResult is the comparator outcome.
+type BaselineResult = baseline.Result
+
+// The baseline consensus models.
+const (
+	MAQConsensus  = baseline.MAQConsensus
+	SoapConsensus = baseline.SoapConsensus
+)
+
+// RunBaseline maps reads and calls SNPs with the comparator pipeline
+// (MAQ-like by default; set Consensus to SoapConsensus for the Bayesian
+// genotype caller). This is the paper's Table I comparison system,
+// exposed so downstream users can reproduce the contrast.
+func RunBaseline(reference []*Contig, reads []*Read, cfg BaselineConfig) (*BaselineResult, error) {
+	ref, err := genome.NewReference(reference)
+	if err != nil {
+		return nil, err
+	}
+	return baseline.Run(ref, reads, cfg)
+}
+
+// SimulateGenome generates just a reference (no SNPs, no reads) for
+// hand-constructed scenarios — e.g. planting an exact duplication
+// before sequencing. Only GenomeLength, GC, repeat fractions, and Seed
+// of the config are used.
+func SimulateGenome(cfg SimConfig) ([]*Contig, error) {
+	g, err := simulate.Genome(simulate.GenomeConfig{
+		Length:                  cfg.GenomeLength,
+		GC:                      cfg.GC,
+		TandemRepeatFraction:    cfg.TandemRepeatFraction,
+		DispersedRepeatFraction: cfg.DispersedRepeatFraction,
+		Seed:                    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []*Contig{{Name: "sim", Seq: g}}, nil
+}
+
+// PlantSNPs builds a truth catalog at explicit positions of the
+// reference's first contig, with transition-biased alternate alleles.
+func PlantSNPs(reference []*Contig, positions []int, seed int64) ([]TruthSNP, error) {
+	if len(reference) == 0 {
+		return nil, fmt.Errorf("gnumap: empty reference")
+	}
+	return simulate.CatalogAt(reference[0].Seq, positions, simulate.CatalogConfig{Seed: seed})
+}
+
+// SimulateReadsFrom sequences an individual carrying the given truth
+// SNPs on the reference's first contig, using the read parameters of
+// cfg (ReadLength, Coverage, ErrStart/ErrEnd, HetFraction>0 implies a
+// diploid individual, Seed).
+func SimulateReadsFrom(reference []*Contig, truth []TruthSNP, cfg SimConfig) ([]*Read, error) {
+	if len(reference) == 0 {
+		return nil, fmt.Errorf("gnumap: empty reference")
+	}
+	diploid := false
+	for _, s := range truth {
+		if s.Het {
+			diploid = true
+		}
+	}
+	ind, err := simulate.Mutate(reference[0].Seq, truth, diploid)
+	if err != nil {
+		return nil, err
+	}
+	readLen := cfg.ReadLength
+	if readLen == 0 {
+		readLen = 62
+	}
+	coverage := cfg.Coverage
+	if coverage == 0 {
+		coverage = 12
+	}
+	return simulate.Reads(ind, simulate.ReadConfig{
+		Length:   readLen,
+		Coverage: coverage,
+		ErrStart: cfg.ErrStart,
+		ErrEnd:   cfg.ErrEnd,
+		Seed:     cfg.Seed + 2,
+	})
+}
+
+// Transport selects the simulated-cluster transport.
+type Transport = cluster.TransportKind
+
+// The cluster transports.
+const (
+	Channels = cluster.Channels
+	TCP      = cluster.TCP
+)
+
+// SplitMode selects the distributed parallelization strategy.
+type SplitMode int
+
+// The paper's two MPI modes (§VI Step 1).
+const (
+	// ReadSplit replicates the genome on every node and partitions the
+	// reads ("shared memory" series of Figure 4).
+	ReadSplit SplitMode = iota
+	// GenomeSplit partitions the genome and shows every node all reads
+	// ("spread memory" series of Figure 4).
+	GenomeSplit
+)
+
+// String names the split mode.
+func (m SplitMode) String() string {
+	switch m {
+	case ReadSplit:
+		return "read-split"
+	case GenomeSplit:
+		return "genome-split"
+	default:
+		return fmt.Sprintf("SplitMode(%d)", int(m))
+	}
+}
+
+// RunCluster maps reads and calls SNPs on a simulated cluster of the
+// given size, returning the calls and global mapping statistics. In
+// ReadSplit mode the reduction happens at rank 0, which also calls
+// SNPs; in GenomeSplit mode every rank calls SNPs on its genome slice
+// and the calls are gathered. Either way the result is equivalent to a
+// single-process run.
+func RunCluster(nodes int, transport Transport, mode SplitMode,
+	reference []*Contig, reads []*Read, opts Options) ([]SNPCall, MapStats, error) {
+
+	ref, err := genome.NewReference(reference)
+	if err != nil {
+		return nil, MapStats{}, err
+	}
+	var calls []SNPCall
+	var stats MapStats
+	collect := make([][]SNPCall, nodes)
+	statsCh := make(chan MapStats, nodes)
+
+	err = cluster.Run(nodes, transport, func(c *cluster.Comm) error {
+		switch mode {
+		case ReadSplit:
+			acc, st, err := core.RunReadSplit(c, ref, reads, opts.Memory, opts.Engine)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				statsCh <- st
+				cs, _, err := snp.CallAll(ref, acc, opts.Caller)
+				if err != nil {
+					return err
+				}
+				collect[0] = cs
+			}
+			return nil
+		case GenomeSplit:
+			acc, lo, hi, st, err := core.RunGenomeSplit(c, ref, reads, opts.Memory, opts.Engine)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				statsCh <- st
+			}
+			cs, _, err := snp.CallRange(ref, acc, lo, lo, hi, opts.Caller)
+			if err != nil {
+				return err
+			}
+			collect[c.Rank()] = cs
+			return nil
+		default:
+			return fmt.Errorf("gnumap: unknown split mode %d", int(mode))
+		}
+	})
+	if err != nil {
+		return nil, MapStats{}, err
+	}
+	close(statsCh)
+	for st := range statsCh {
+		stats = st
+	}
+	for _, cs := range collect {
+		calls = append(calls, cs...)
+	}
+	return calls, stats, nil
+}

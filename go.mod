@@ -1,0 +1,3 @@
+module gnumap
+
+go 1.22

@@ -1,0 +1,386 @@
+// Package baseline implements a MAQ-like read mapper and SNP caller —
+// the comparison system of the paper's Table I. MAQ itself (Li, Ruan &
+// Durbin 2008) is an external C program; this package reproduces its
+// algorithmic skeleton so the paper's behavioural contrasts can be
+// measured:
+//
+//   - seeded, *ungapped* alignment scored by the sum of Phred qualities
+//     at mismatching bases (lower is better);
+//   - each read is assigned to its single best location; ties are
+//     broken uniformly at random (the multi-mapping policy the paper
+//     criticizes);
+//   - a mapping quality derived from the gap between the best and
+//     second-best hits, with low-mapping-quality reads discarded;
+//   - consensus/SNP calling on a quality-sum pileup with fixed ("ad
+//     hoc") cutoffs, with no background-noise comparison.
+//
+// The contrast with the GNUMAP-SNP engine is the paper's point: hard
+// assignment and hard cutoffs versus marginalized alignments and a
+// background-aware likelihood ratio test.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+	"gnumap/internal/kmer"
+	"gnumap/internal/snp"
+)
+
+// Config tunes the baseline pipeline. Zero values select MAQ-flavoured
+// defaults.
+type Config struct {
+	// K is the seed k-mer length (default kmer.DefaultK).
+	K int
+	// MaxMismatches rejects alignments with more mismatching bases
+	// (default 5 — MAQ's 2-in-seed plus tolerance for 62 bp reads).
+	MaxMismatches int
+	// MapQThreshold discards reads whose mapping quality is below this
+	// (default 10).
+	MapQThreshold int
+	// MinDepth is the minimum pileup depth to call a base (default 3).
+	MinDepth int
+	// MinQualSum is the minimum winning-base quality sum to call a SNP
+	// (default 60, i.e. roughly three Q20 bases).
+	MinQualSum int
+	// MaxCandidates caps seed candidates examined per strand
+	// (default 32).
+	MaxCandidates int
+	// Workers sets mapping concurrency (default 1, matching the
+	// paper's single-processor MAQ runs; raise for throughput).
+	Workers int
+	// Seed drives random tie-breaking among equally scoring locations.
+	Seed int64
+	// Consensus selects the calling model applied to the pileup:
+	// the MAQ-style fixed cutoffs (default) or the SOAPsnp-style
+	// Bayesian genotype posterior.
+	Consensus Consensus
+	// Soap tunes the Bayesian caller when Consensus is SoapConsensus.
+	Soap SoapConfig
+}
+
+// Consensus selects the baseline's calling model.
+type Consensus int
+
+const (
+	// MAQConsensus is the quality-sum plurality rule with fixed
+	// cutoffs (Li, Ruan & Durbin 2008).
+	MAQConsensus Consensus = iota
+	// SoapConsensus is the Bayesian diploid genotype model
+	// (Li et al. 2009); see soapsnp.go.
+	SoapConsensus
+)
+
+// String names the consensus model.
+func (c Consensus) String() string {
+	switch c {
+	case MAQConsensus:
+		return "MAQ"
+	case SoapConsensus:
+		return "SOAPsnp"
+	default:
+		return fmt.Sprintf("Consensus(%d)", int(c))
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = kmer.DefaultK
+	}
+	if c.MaxMismatches == 0 {
+		c.MaxMismatches = 5
+	}
+	if c.MapQThreshold == 0 {
+		c.MapQThreshold = 10
+	}
+	if c.MinDepth == 0 {
+		c.MinDepth = 3
+	}
+	if c.MinQualSum == 0 {
+		c.MinQualSum = 60
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 32
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Workers < 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result is the pipeline outcome.
+type Result struct {
+	// Calls are the SNPs, sorted by position, in the shared snp.Call
+	// shape so the same evaluation harness scores both systems.
+	Calls []snp.Call
+	// Mapped counts reads assigned to a location; Discarded counts
+	// reads dropped for low mapping quality or no acceptable hit;
+	// TieBroken counts reads whose location was chosen at random among
+	// equal best scores.
+	Mapped, Discarded, TieBroken int64
+}
+
+// alignment is one scored candidate placement.
+type alignment struct {
+	pos        int
+	qualSum    int // sum of qualities at mismatches; lower is better
+	mismatches int
+	minus      bool
+}
+
+// Run maps all reads and calls SNPs against the reference.
+func Run(ref *genome.Reference, reads []*fastq.Read, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if ref == nil || ref.Len() == 0 {
+		return nil, fmt.Errorf("baseline: empty reference")
+	}
+	idx, err := kmer.New(ref.Seq(), cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	L := ref.Len()
+	// Pileup state: per position, per base, quality sums plus depth.
+	qualSum := make([]int32, L*dna.NumBases)
+	depth := make([]int32, L)
+	var bp *bayesPileup
+	if cfg.Consensus == SoapConsensus {
+		bp = newBayesPileup(L)
+	}
+
+	res := &Result{}
+	var wg sync.WaitGroup
+	chunk := (len(reads) + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(reads) {
+			hi = len(reads)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker int, batch []*fastq.Read) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+			for _, rd := range batch {
+				mapOne(ref, idx, rd, cfg, rng, qualSum, depth, bp, res)
+			}
+		}(w, reads[lo:hi])
+	}
+	wg.Wait()
+
+	if cfg.Consensus == SoapConsensus {
+		res.Calls = callSoap(ref, bp, cfg.Soap)
+	} else {
+		res.Calls = callConsensus(ref, qualSum, depth, cfg)
+	}
+	return res, nil
+}
+
+// mapOne aligns one read and, if accepted, adds it to the pileup.
+func mapOne(ref *genome.Reference, idx *kmer.Index, rd *fastq.Read, cfg Config,
+	rng *rand.Rand, qualSum []int32, depth []int32, bp *bayesPileup, res *Result) {
+	if err := rd.Validate(); err != nil {
+		atomic.AddInt64(&res.Discarded, 1)
+		return
+	}
+	fwd := rd.Seq
+	rev := rd.Seq.ReverseComplement()
+	revQual := reverseQual(rd.Qual)
+
+	var hits []alignment
+	opts := kmer.CandidateOptions{
+		MaxCandidates: cfg.MaxCandidates,
+		MinVotes:      1,
+		MaxBucket:     256,
+	}
+	for _, strand := range []struct {
+		seq   dna.Seq
+		qual  []uint8
+		minus bool
+	}{{fwd, rd.Qual, false}, {rev, revQual, true}} {
+		for _, cand := range idx.Candidates(strand.seq, opts) {
+			a, ok := scoreUngapped(ref, int(cand.Start), strand.seq, strand.qual, cfg.MaxMismatches)
+			if ok {
+				a.minus = strand.minus
+				hits = append(hits, a)
+			}
+		}
+	}
+	if len(hits) == 0 {
+		atomic.AddInt64(&res.Discarded, 1)
+		return
+	}
+	// Sort by score; find the best group and the runner-up score.
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].qualSum != hits[j].qualSum {
+			return hits[i].qualSum < hits[j].qualSum
+		}
+		return hits[i].pos < hits[j].pos
+	})
+	// Deduplicate identical placements (same pos+strand can arrive via
+	// several seeds — kmer.Candidates already merges diagonals, but a
+	// forward and reverse hit at one pos are distinct).
+	best := hits[0]
+	nTies := 1
+	for _, h := range hits[1:] {
+		if h.qualSum == best.qualSum && (h.pos != best.pos || h.minus != best.minus) {
+			nTies++
+			// Reservoir-sample among ties: the MAQ "random assignment".
+			if rng.Intn(nTies) == 0 {
+				best = h
+			}
+		} else if h.qualSum != best.qualSum {
+			break
+		}
+	}
+	secondScore := -1
+	for _, h := range hits {
+		if h.qualSum > best.qualSum {
+			secondScore = h.qualSum
+			break
+		}
+	}
+	mapQ := mappingQuality(best.qualSum, secondScore, nTies)
+	if mapQ < cfg.MapQThreshold {
+		atomic.AddInt64(&res.Discarded, 1)
+		return
+	}
+	if nTies > 1 {
+		atomic.AddInt64(&res.TieBroken, 1)
+	}
+	atomic.AddInt64(&res.Mapped, 1)
+	// Pile the read up at its single chosen location.
+	seq, qual := rd.Seq, rd.Qual
+	if best.minus {
+		seq, qual = rd.Seq.ReverseComplement(), reverseQual(rd.Qual)
+	}
+	for i, b := range seq {
+		pos := best.pos + i
+		if pos < 0 || pos >= ref.Len() || !b.IsConcrete() {
+			continue
+		}
+		atomic.AddInt32(&qualSum[pos*dna.NumBases+int(b)], int32(qual[i]))
+		atomic.AddInt32(&depth[pos], 1)
+		if bp != nil {
+			bp.add(pos, b, fastq.ErrorProb(qual[i]))
+		}
+	}
+}
+
+// reverseQual returns the quality string reversed (for the reverse
+// complement orientation).
+func reverseQual(q []uint8) []uint8 {
+	out := make([]uint8, len(q))
+	for i, v := range q {
+		out[len(q)-1-i] = v
+	}
+	return out
+}
+
+// scoreUngapped computes the sum-of-mismatch-qualities score of the
+// read placed at pos, rejecting placements that run off the reference
+// or exceed the mismatch budget.
+func scoreUngapped(ref *genome.Reference, pos int, seq dna.Seq, qual []uint8, maxMM int) (alignment, bool) {
+	if pos < 0 || pos+len(seq) > ref.Len() {
+		return alignment{}, false
+	}
+	g := ref.Seq()
+	a := alignment{pos: pos}
+	for i, b := range seq {
+		rb := g[pos+i]
+		if b != rb || !b.IsConcrete() || !rb.IsConcrete() {
+			a.mismatches++
+			if a.mismatches > maxMM {
+				return alignment{}, false
+			}
+			a.qualSum += int(qual[i])
+		}
+	}
+	return a, true
+}
+
+// mappingQuality is the MAQ-flavoured phred-scaled confidence that the
+// chosen location is correct: the score gap to the runner-up, capped,
+// and zero when the best score is shared by multiple locations.
+func mappingQuality(best, second, nTies int) int {
+	if nTies > 1 {
+		return 0
+	}
+	if second < 0 {
+		return 60 // unique hit, nothing else within the budget
+	}
+	q := second - best
+	if q > 60 {
+		q = 60
+	}
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// callConsensus scans the pileup and emits SNP calls with MAQ-style
+// fixed cutoffs.
+func callConsensus(ref *genome.Reference, qualSum []int32, depth []int32, cfg Config) []snp.Call {
+	var calls []snp.Call
+	g := ref.Seq()
+	for pos := 0; pos < ref.Len(); pos++ {
+		if int(depth[pos]) < cfg.MinDepth {
+			continue
+		}
+		refBase := g[pos]
+		if !refBase.IsConcrete() {
+			continue
+		}
+		base := pos * dna.NumBases
+		bestBase, bestQ, secondQ := 0, int32(-1), int32(-1)
+		for k := 0; k < dna.NumBases; k++ {
+			q := qualSum[base+k]
+			if q > bestQ {
+				secondQ = bestQ
+				bestBase, bestQ = k, q
+			} else if q > secondQ {
+				secondQ = q
+			}
+		}
+		if dna.Code(bestBase) == refBase {
+			continue
+		}
+		if int(bestQ) < cfg.MinQualSum {
+			continue
+		}
+		// Require the winner to dominate the runner-up (consensus
+		// confidence), MAQ's hard margin.
+		if bestQ < 2*secondQ {
+			continue
+		}
+		contig, local, err := ref.Locate(pos)
+		if err != nil {
+			continue
+		}
+		calls = append(calls, snp.Call{
+			Contig:    contig,
+			Pos:       local,
+			GlobalPos: pos,
+			Ref:       refBase,
+			Allele:    dna.Channel(bestBase),
+			Allele2:   dna.Channel(bestBase),
+			Stat:      float64(bestQ),
+			PValue:    0,
+			Depth:     float64(depth[pos]),
+		})
+	}
+	return calls
+}

@@ -1,0 +1,231 @@
+package baseline
+
+import (
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+	"gnumap/internal/simulate"
+	"gnumap/internal/snp"
+)
+
+func mustRef(t *testing.T, g dna.Seq) *genome.Reference {
+	t.Helper()
+	ref, err := genome.NewSingleContig("chrS", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func simData(t *testing.T, length, nSNPs int, coverage float64) (*genome.Reference, []simulate.SNP, []*fastq.Read) {
+	t.Helper()
+	g, err := simulate.Genome(simulate.GenomeConfig{Length: length, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := simulate.Catalog(g, simulate.CatalogConfig{Count: nSNPs, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := simulate.Mutate(g, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := simulate.Reads(ind, simulate.ReadConfig{Length: 62, Coverage: coverage, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := genome.NewSingleContig("chrS", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, cat, reads
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, nil, Config{}); err == nil {
+		t.Error("nil reference accepted")
+	}
+}
+
+func TestMapsCleanReads(t *testing.T) {
+	ref, _, _ := simData(t, 20000, 1, 1)
+	// Perfect reads straight off the reference.
+	var reads []*fastq.Read
+	for _, start := range []int{100, 5000, 12345} {
+		seq := ref.Seq()[start : start+62].Clone()
+		qual := make([]uint8, 62)
+		for i := range qual {
+			qual[i] = 30
+		}
+		reads = append(reads, &fastq.Read{Name: "clean", Seq: seq, Qual: qual})
+	}
+	res, err := Run(ref, reads, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapped != 3 || res.Discarded != 0 {
+		t.Errorf("mapped=%d discarded=%d, want 3/0", res.Mapped, res.Discarded)
+	}
+	if len(res.Calls) != 0 {
+		t.Errorf("clean reads produced %d SNP calls", len(res.Calls))
+	}
+}
+
+func TestMinusStrandMapping(t *testing.T) {
+	ref, _, _ := simData(t, 20000, 1, 1)
+	start := 7000
+	seq := ref.Seq()[start : start+62].ReverseComplement()
+	qual := make([]uint8, 62)
+	for i := range qual {
+		qual[i] = 30
+	}
+	res, err := Run(ref, []*fastq.Read{{Name: "rc", Seq: seq, Qual: qual}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapped != 1 {
+		t.Errorf("reverse-complement read not mapped: %+v", res)
+	}
+}
+
+func TestRecoversPlantedSNPs(t *testing.T) {
+	ref, cat, reads := simData(t, 60000, 6, 15)
+	res, err := Run(ref, reads, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapped < int64(len(reads)*8/10) {
+		t.Fatalf("only %d/%d reads mapped", res.Mapped, len(reads))
+	}
+	m := snp.Evaluate(res.Calls, cat)
+	if m.TP < 4 {
+		t.Errorf("recovered %d/%d SNPs (FP=%d)", m.TP, len(cat), m.FP)
+	}
+	if m.Precision() < 0.6 {
+		t.Errorf("precision = %v (TP=%d FP=%d)", m.Precision(), m.TP, m.FP)
+	}
+}
+
+func TestMultiMappedReadsTieBroken(t *testing.T) {
+	// A reference with two identical 200bp blocks: reads from the
+	// block must tie and be randomly assigned.
+	g, err := simulate.Genome(simulate.GenomeConfig{Length: 5000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(g[3000:3200], g[1000:1200])
+	ref, err := genome.NewSingleContig("dup", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qual := make([]uint8, 62)
+	for i := range qual {
+		qual[i] = 30
+	}
+	var reads []*fastq.Read
+	for i := 0; i < 20; i++ {
+		reads = append(reads, &fastq.Read{
+			Name: "dup",
+			Seq:  g[1050 : 1050+62].Clone(),
+			Qual: qual,
+		})
+	}
+	res, err := Run(ref, reads, Config{MapQThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TieBroken != 20 {
+		t.Errorf("TieBroken = %d, want 20", res.TieBroken)
+	}
+	// With the default threshold the ambiguous reads are discarded
+	// instead (mapping quality 0 < 10).
+	res2, err := Run(ref, reads, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Mapped != 0 || res2.Discarded != 20 {
+		t.Errorf("ambiguous reads: mapped=%d discarded=%d, want 0/20", res2.Mapped, res2.Discarded)
+	}
+}
+
+func TestRejectsGarbageReads(t *testing.T) {
+	ref, _, _ := simData(t, 20000, 1, 1)
+	qual := make([]uint8, 62)
+	seq := make(dna.Seq, 62)
+	for i := range seq {
+		seq[i] = dna.Code(i % 4)
+		qual[i] = 30
+	}
+	res, err := Run(ref, []*fastq.Read{
+		{Name: "garbage", Seq: seq, Qual: qual},
+		{Name: "invalid", Seq: seq[:10], Qual: qual}, // length mismatch
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapped != 0 || res.Discarded != 2 {
+		t.Errorf("mapped=%d discarded=%d, want 0/2", res.Mapped, res.Discarded)
+	}
+}
+
+func TestWorkersProduceSameCalls(t *testing.T) {
+	ref, cat, reads := simData(t, 40000, 4, 12)
+	res1, err := Run(ref, reads, Config{Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := Run(ref, reads, Config{Workers: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := snp.Evaluate(res1.Calls, cat)
+	m8 := snp.Evaluate(res8.Calls, cat)
+	// Tie-breaking RNG streams differ across worker counts, so calls
+	// can differ slightly at repeats; headline metrics must agree.
+	if m1.TP != m8.TP {
+		t.Errorf("worker-count changed TP: %d vs %d", m1.TP, m8.TP)
+	}
+}
+
+func TestMappingQuality(t *testing.T) {
+	if mappingQuality(0, -1, 1) != 60 {
+		t.Error("unique hit should have mapQ 60")
+	}
+	if mappingQuality(10, 40, 1) != 30 {
+		t.Error("gap-based mapQ wrong")
+	}
+	if mappingQuality(10, 200, 1) != 60 {
+		t.Error("mapQ not capped")
+	}
+	if mappingQuality(10, 20, 3) != 0 {
+		t.Error("ties must zero mapQ")
+	}
+}
+
+func TestScoreUngapped(t *testing.T) {
+	g, _ := simulate.Genome(simulate.GenomeConfig{Length: 1000, Seed: 2})
+	ref, _ := genome.NewSingleContig("x", g)
+	seq := g[100:120].Clone()
+	qual := make([]uint8, 20)
+	for i := range qual {
+		qual[i] = 25
+	}
+	a, ok := scoreUngapped(ref, 100, seq, qual, 3)
+	if !ok || a.qualSum != 0 || a.mismatches != 0 {
+		t.Errorf("perfect placement scored %+v ok=%v", a, ok)
+	}
+	seq[5] = dna.Code((int(seq[5]) + 1) % 4)
+	a, ok = scoreUngapped(ref, 100, seq, qual, 3)
+	if !ok || a.qualSum != 25 || a.mismatches != 1 {
+		t.Errorf("one-mismatch placement scored %+v ok=%v", a, ok)
+	}
+	if _, ok := scoreUngapped(ref, 995, seq, qual, 3); ok {
+		t.Error("off-end placement accepted")
+	}
+	if _, ok := scoreUngapped(ref, -1, seq, qual, 3); ok {
+		t.Error("negative placement accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/simulate"
+	"gnumap/internal/snp"
+)
+
+func TestConsensusString(t *testing.T) {
+	if MAQConsensus.String() != "MAQ" || SoapConsensus.String() != "SOAPsnp" {
+		t.Error("consensus names wrong")
+	}
+	if Consensus(9).String() != "Consensus(9)" {
+		t.Error("unknown consensus formatting wrong")
+	}
+}
+
+// Direct unit test of the genotype decision on hand-built pileups.
+func TestBayesCallDecisions(t *testing.T) {
+	bp := newBayesPileup(4)
+	e := 0.001 // Q30
+	// Position 0: 15 clean reads of the reference base A -> hom ref.
+	for i := 0; i < 15; i++ {
+		bp.add(0, dna.A, e)
+	}
+	// Position 1: 15 reads of C against reference A -> hom non-ref.
+	for i := 0; i < 15; i++ {
+		bp.add(1, dna.C, e)
+	}
+	// Position 2: 8 A + 8 G against reference A -> het.
+	for i := 0; i < 8; i++ {
+		bp.add(2, dna.A, e)
+		bp.add(2, dna.G, e)
+	}
+	// Position 3: 14 A + 1 C (one error read) -> hom ref, not het.
+	for i := 0; i < 14; i++ {
+		bp.add(3, dna.A, e)
+	}
+	bp.add(3, dna.C, 0.01)
+
+	cfg := SoapConfig{}.withDefaults()
+	gt, phred, depth, ok := bp.call(0, dna.A, cfg)
+	if !ok || gt != (genotype{dna.A, dna.A}) || phred < 20 || depth != 15 {
+		t.Errorf("pos 0: gt=%v phred=%v depth=%d ok=%v", gt, phred, depth, ok)
+	}
+	gt, phred, _, ok = bp.call(1, dna.A, cfg)
+	if !ok || gt != (genotype{dna.C, dna.C}) || phred < 20 {
+		t.Errorf("pos 1: gt=%v phred=%v", gt, phred)
+	}
+	gt, phred, _, ok = bp.call(2, dna.A, cfg)
+	if !ok || gt != (genotype{dna.A, dna.G}) || phred < 20 {
+		t.Errorf("pos 2: gt=%v phred=%v", gt, phred)
+	}
+	gt, _, _, ok = bp.call(3, dna.A, cfg)
+	if !ok || gt != (genotype{dna.A, dna.A}) {
+		t.Errorf("pos 3: single error read produced gt=%v", gt)
+	}
+	// Thin coverage refuses to call.
+	if _, _, _, ok := bp.call(0, dna.A, SoapConfig{MinDepth: 30}); ok {
+		t.Error("MinDepth not enforced")
+	}
+}
+
+func TestGenotypeEnumeration(t *testing.T) {
+	if len(genotypes) != 10 {
+		t.Fatalf("%d genotypes, want 10", len(genotypes))
+	}
+	seen := map[genotype]bool{}
+	for _, g := range genotypes {
+		if g.b < g.a {
+			t.Errorf("unordered genotype %v", g)
+		}
+		if seen[g] {
+			t.Errorf("duplicate genotype %v", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestSoapConsensusEndToEnd(t *testing.T) {
+	ref, cat, reads := simData(t, 60000, 6, 15)
+	res, err := Run(ref, reads, Config{Workers: 4, Consensus: SoapConsensus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := snp.Evaluate(res.Calls, cat)
+	if m.TP < 4 {
+		t.Errorf("SOAPsnp-like recovered %d/%d (FP=%d)", m.TP, len(cat), m.FP)
+	}
+	if m.Precision() < 0.6 {
+		t.Errorf("precision = %v", m.Precision())
+	}
+}
+
+func TestSoapConsensusDiploid(t *testing.T) {
+	g, err := simulate.Genome(simulate.GenomeConfig{Length: 40000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := simulate.Catalog(g, simulate.CatalogConfig{Count: 4, HetFraction: 1, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := simulate.Mutate(g, cat, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := simulate.Reads(ind, simulate.ReadConfig{Length: 62, Coverage: 25, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mustRef(t, g)
+	res, err := Run(ref, reads, Config{Consensus: SoapConsensus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := snp.Evaluate(res.Calls, cat)
+	if m.TP < 3 {
+		t.Errorf("diploid SOAPsnp recovered %d/%d (FP=%d)", m.TP, len(cat), m.FP)
+	}
+	hets := 0
+	for _, c := range res.Calls {
+		if c.Het {
+			hets++
+		}
+	}
+	if hets < 3 {
+		t.Errorf("only %d het genotypes for %d het sites", hets, len(cat))
+	}
+}
+
+func TestBayesPileupErrorClamping(t *testing.T) {
+	bp := newBayesPileup(1)
+	bp.add(0, dna.A, 0)   // must clamp, not log(0)
+	bp.add(0, dna.A, 1.0) // must clamp below 1
+	bp.add(-1, dna.A, 0.1)
+	bp.add(5, dna.A, 0.1)
+	bp.add(0, dna.N, 0.1)
+	idx := 0*dna.NumBases + int(dna.A)
+	if bp.n[idx] != 2 {
+		t.Errorf("n = %d, want 2 (OOB and N adds ignored)", bp.n[idx])
+	}
+	if math.IsInf(bp.s2[idx], 0) || math.IsNaN(bp.s1[idx]) {
+		t.Errorf("unclamped stats: s1=%v s2=%v", bp.s1[idx], bp.s2[idx])
+	}
+}

@@ -1,0 +1,456 @@
+// Package cluster is the message-passing substrate standing in for MPI
+// (paper §VI Step 1). It provides rank-addressed point-to-point
+// messaging plus the collectives GNUMAP-SNP's two parallel modes need
+// (Barrier, Broadcast, Gather, Scatter, Reduce, Allreduce), over two
+// interchangeable transports:
+//
+//   - ChannelTransport: goroutine "nodes" exchanging serialized
+//     messages over Go channels — the default for experiments.
+//   - TCPTransport: the same node program communicating over real
+//     loopback TCP sockets with length-framed messages, exercising a
+//     genuine network stack (serialization, framing, kernel buffers).
+//
+// Payloads are gob-serialized in both transports, so the communication
+// volume — the quantity that differentiates the paper's read-split and
+// genome-split modes — is identical across transports. Common payload
+// types are registered in init; callers register their own structs with
+// gob.Register.
+//
+// The programming model is SPMD, as with MPI: Run launches one copy of
+// the node function per rank, and every rank must execute the same
+// sequence of collective operations.
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+func init() {
+	gob.Register([]float64{})
+	gob.Register([]float32{})
+	gob.Register([]int{})
+	gob.Register([]int32{})
+	gob.Register([5]float64{})
+	gob.Register([][5]float64{})
+	gob.Register(map[int]float64{})
+	gob.Register("")
+	gob.Register(0)
+	gob.Register(int64(0))
+	gob.Register(0.0)
+	gob.Register(false)
+}
+
+// packet is the wire unit.
+type packet struct {
+	From int
+	Tag  int
+	Data []byte
+}
+
+// Transport moves packets between ranks.
+type Transport interface {
+	// Send delivers a packet from rank `from` to rank `to`. It may
+	// block for backpressure but must not drop packets.
+	Send(from, to int, p packet) error
+	// Inbox returns the receive channel of a rank. The transport
+	// closes it on shutdown.
+	Inbox(rank int) <-chan packet
+	// Close tears the transport down, unblocking all receivers.
+	Close() error
+}
+
+// Comm is one rank's endpoint, analogous to an MPI communicator.
+type Comm struct {
+	rank, size int
+	tr         Transport
+	// pending holds packets received while waiting for a different
+	// (from, tag) match.
+	pending []packet
+	// collSeq numbers collective operations so that consecutive
+	// collectives cannot cross-match; SPMD execution keeps it in sync
+	// across ranks.
+	collSeq int
+}
+
+// Rank returns this node's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// encode gob-serializes a payload (as interface, so concrete type
+// information travels with it).
+func encode(payload any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
+		return nil, fmt.Errorf("cluster: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decode reverses encode.
+func decode(data []byte) (any, error) {
+	var payload any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	return payload, nil
+}
+
+// Send transmits payload to rank `to` with a non-negative user tag.
+func (c *Comm) Send(to, tag int, payload any) error {
+	if tag < 0 {
+		return fmt.Errorf("cluster: negative tags are reserved for collectives")
+	}
+	return c.send(to, tag, payload)
+}
+
+func (c *Comm) send(to, tag int, payload any) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("cluster: send to rank %d of %d", to, c.size)
+	}
+	if to == c.rank {
+		return fmt.Errorf("cluster: rank %d sending to itself", c.rank)
+	}
+	data, err := encode(payload)
+	if err != nil {
+		return err
+	}
+	return c.tr.Send(c.rank, to, packet{From: c.rank, Tag: tag, Data: data})
+}
+
+// Recv blocks until a message with the given sender and non-negative
+// user tag arrives and returns its payload.
+func (c *Comm) Recv(from, tag int) (any, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("cluster: negative tags are reserved for collectives")
+	}
+	return c.recv(from, tag)
+}
+
+func (c *Comm) recv(from, tag int) (any, error) {
+	if from < 0 || from >= c.size {
+		return nil, fmt.Errorf("cluster: recv from rank %d of %d", from, c.size)
+	}
+	for i, p := range c.pending {
+		if p.From == from && p.Tag == tag {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return decode(p.Data)
+		}
+	}
+	inbox := c.tr.Inbox(c.rank)
+	for p := range inbox {
+		if p.From == from && p.Tag == tag {
+			return decode(p.Data)
+		}
+		c.pending = append(c.pending, p)
+	}
+	return nil, fmt.Errorf("cluster: rank %d: transport closed while waiting for (from=%d, tag=%d)", c.rank, from, tag)
+}
+
+// nextCollTag reserves a fresh negative tag for one collective phase.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return -c.collSeq
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	tagUp := c.nextCollTag()
+	tagDown := c.nextCollTag()
+	if c.size == 1 {
+		return nil
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.size; r++ {
+			if _, err := c.recv(r, tagUp); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.size; r++ {
+			if err := c.send(r, tagDown, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.send(0, tagUp, true); err != nil {
+		return err
+	}
+	_, err := c.recv(0, tagDown)
+	return err
+}
+
+// Broadcast distributes root's payload to every rank; every rank
+// returns the (decoded) value. Non-root ranks may pass nil.
+func (c *Comm) Broadcast(root int, payload any) (any, error) {
+	tag := c.nextCollTag()
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("cluster: broadcast root %d of %d", root, c.size)
+	}
+	if c.size == 1 {
+		return payload, nil
+	}
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.send(r, tag, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	return c.recv(root, tag)
+}
+
+// Gather collects every rank's payload at root. At root the returned
+// slice is indexed by rank; elsewhere it is nil.
+func (c *Comm) Gather(root int, payload any) ([]any, error) {
+	tag := c.nextCollTag()
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("cluster: gather root %d of %d", root, c.size)
+	}
+	if c.rank == root {
+		out := make([]any, c.size)
+		out[c.rank] = payload
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			v, err := c.recv(r, tag)
+			if err != nil {
+				return nil, err
+			}
+			out[r] = v
+		}
+		return out, nil
+	}
+	return nil, c.send(root, tag, payload)
+}
+
+// Scatter distributes parts[r] from root to each rank r; every rank
+// returns its own part. parts is only read at root and must have one
+// entry per rank there.
+func (c *Comm) Scatter(root int, parts []any) (any, error) {
+	tag := c.nextCollTag()
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("cluster: scatter root %d of %d", root, c.size)
+	}
+	if c.rank == root {
+		if len(parts) != c.size {
+			return nil, fmt.Errorf("cluster: scatter with %d parts for %d ranks", len(parts), c.size)
+		}
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.send(r, tag, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	return c.recv(root, tag)
+}
+
+// ReduceOp folds b into a and returns the result. It must be
+// associative; Reduce applies it in ascending rank order.
+type ReduceOp func(a, b any) (any, error)
+
+// Reduce folds every rank's payload at root with op; the result is
+// returned at root (nil elsewhere).
+func (c *Comm) Reduce(root int, payload any, op ReduceOp) (any, error) {
+	vals, err := c.Gather(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	acc := vals[0]
+	for r := 1; r < c.size; r++ {
+		acc, err = op(acc, vals[r])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce folds every rank's payload and returns the result on every
+// rank (Reduce to rank 0, then Broadcast).
+func (c *Comm) Allreduce(payload any, op ReduceOp) (any, error) {
+	v, err := c.Reduce(0, payload, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Broadcast(0, v)
+}
+
+// SumFloat64s is a ReduceOp summing []float64 elementwise.
+func SumFloat64s(a, b any) (any, error) {
+	av, aok := a.([]float64)
+	bv, bok := b.([]float64)
+	if !aok || !bok || len(av) != len(bv) {
+		return nil, fmt.Errorf("cluster: SumFloat64s on %T/%T", a, b)
+	}
+	out := make([]float64, len(av))
+	for i := range av {
+		out[i] = av[i] + bv[i]
+	}
+	return out, nil
+}
+
+// SumFloat32s is a ReduceOp summing []float32 elementwise — the
+// reduction used for NORM accumulator state.
+func SumFloat32s(a, b any) (any, error) {
+	av, aok := a.([]float32)
+	bv, bok := b.([]float32)
+	if !aok || !bok || len(av) != len(bv) {
+		return nil, fmt.Errorf("cluster: SumFloat32s on %T/%T", a, b)
+	}
+	out := make([]float32, len(av))
+	for i := range av {
+		out[i] = av[i] + bv[i]
+	}
+	return out, nil
+}
+
+// TransportKind selects the transport for Run.
+type TransportKind int
+
+const (
+	// Channels runs nodes as goroutines exchanging messages in-process.
+	Channels TransportKind = iota
+	// TCP runs nodes as goroutines communicating over loopback sockets.
+	TCP
+)
+
+// String names the transport kind.
+func (k TransportKind) String() string {
+	switch k {
+	case Channels:
+		return "channels"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", int(k))
+	}
+}
+
+// Run launches size SPMD node functions and waits for them all. It
+// returns the first error any node produced; when a node fails, the
+// transport is torn down so the remaining nodes unblock with errors
+// rather than deadlocking.
+func Run(size int, kind TransportKind, fn func(c *Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("cluster: size %d", size)
+	}
+	var tr Transport
+	var err error
+	switch kind {
+	case Channels:
+		tr = NewChannelTransport(size)
+	case TCP:
+		tr, err = NewTCPTransport(size)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("cluster: unknown transport %d", int(kind))
+	}
+	defer tr.Close()
+
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	var closeOnce sync.Once
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comm := &Comm{rank: rank, size: size, tr: tr}
+			if err := fn(comm); err != nil {
+				errs[rank] = err
+				// Unblock peers waiting on this failed node.
+				closeOnce.Do(func() { tr.Close() })
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// MaxFloat64s is a ReduceOp taking the elementwise maximum of
+// []float64 — used for the global log-sum-exp normalization in
+// genome-split mapping.
+func MaxFloat64s(a, b any) (any, error) {
+	av, aok := a.([]float64)
+	bv, bok := b.([]float64)
+	if !aok || !bok || len(av) != len(bv) {
+		return nil, fmt.Errorf("cluster: MaxFloat64s on %T/%T", a, b)
+	}
+	out := make([]float64, len(av))
+	for i := range av {
+		if av[i] >= bv[i] {
+			out[i] = av[i]
+		} else {
+			out[i] = bv[i]
+		}
+	}
+	return out, nil
+}
+
+// ReduceTree folds every rank's payload at root with op along a
+// binomial tree: ⌈log2(N)⌉ rounds instead of the linear Gather-based
+// Reduce, with the fold work distributed across internal tree nodes —
+// how production MPI implements MPI_Reduce. op must be associative and
+// commutative (pairings depend on tree shape). The result is returned
+// at root and nil elsewhere.
+func (c *Comm) ReduceTree(root int, payload any, op ReduceOp) (any, error) {
+	tag := c.nextCollTag()
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("cluster: reduce root %d of %d", root, c.size)
+	}
+	// Rotate ranks so the tree is rooted at 0.
+	vrank := (c.rank - root + c.size) % c.size
+	acc := payload
+	var err error
+	for step := 1; step < c.size; step <<= 1 {
+		if vrank&step != 0 {
+			// Send accumulated value to the partner below and exit.
+			partner := ((vrank - step) + root) % c.size
+			return nil, c.send(partner, tag, acc)
+		}
+		if vrank+step < c.size {
+			partner := (vrank + step + root) % c.size
+			v, err2 := c.recv(partner, tag)
+			if err2 != nil {
+				return nil, err2
+			}
+			acc, err = op(acc, v)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceTree is ReduceTree to rank 0 followed by Broadcast.
+func (c *Comm) AllreduceTree(payload any, op ReduceOp) (any, error) {
+	v, err := c.ReduceTree(0, payload, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Broadcast(0, v)
+}

@@ -1,0 +1,465 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func transports() []TransportKind { return []TransportKind{Channels, TCP} }
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(0, Channels, func(c *Comm) error { return nil }); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if err := Run(2, TransportKind(9), func(c *Comm) error { return nil }); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+func TestTransportKindString(t *testing.T) {
+	if Channels.String() != "channels" || TCP.String() != "tcp" {
+		t.Error("transport names wrong")
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	for _, tk := range transports() {
+		err := Run(1, tk, func(c *Comm) error {
+			if c.Rank() != 0 || c.Size() != 1 {
+				return fmt.Errorf("rank/size wrong")
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			v, err := c.Broadcast(0, "hello")
+			if err != nil || v.(string) != "hello" {
+				return fmt.Errorf("broadcast: %v %v", v, err)
+			}
+			r, err := c.Allreduce([]float64{1, 2}, SumFloat64s)
+			if err != nil {
+				return err
+			}
+			got := r.([]float64)
+			if got[0] != 1 || got[1] != 2 {
+				return fmt.Errorf("allreduce: %v", got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%v: %v", tk, err)
+		}
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	for _, tk := range transports() {
+		err := Run(4, tk, func(c *Comm) error {
+			// Ring: each rank sends its rank to the next, receives from
+			// the previous.
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			if err := c.Send(next, 7, c.Rank()); err != nil {
+				return err
+			}
+			v, err := c.Recv(prev, 7)
+			if err != nil {
+				return err
+			}
+			if v.(int) != prev {
+				return fmt.Errorf("rank %d got %v from %d", c.Rank(), v, prev)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%v: %v", tk, err)
+		}
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	for _, tk := range transports() {
+		err := Run(2, tk, func(c *Comm) error {
+			if c.Rank() == 0 {
+				// Send two tagged messages; receiver asks for them in
+				// the opposite order.
+				if err := c.Send(1, 1, "first"); err != nil {
+					return err
+				}
+				if err := c.Send(1, 2, "second"); err != nil {
+					return err
+				}
+				return nil
+			}
+			v2, err := c.Recv(0, 2)
+			if err != nil {
+				return err
+			}
+			v1, err := c.Recv(0, 1)
+			if err != nil {
+				return err
+			}
+			if v1.(string) != "first" || v2.(string) != "second" {
+				return fmt.Errorf("got %v/%v", v1, v2)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%v: %v", tk, err)
+		}
+	}
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	err := Run(2, Channels, func(c *Comm) error {
+		if err := c.Send(5, 0, 1); err == nil {
+			return fmt.Errorf("send to bad rank accepted")
+		}
+		if err := c.Send(c.Rank(), 0, 1); err == nil {
+			return fmt.Errorf("self-send accepted")
+		}
+		if err := c.Send((c.Rank()+1)%2, -1, 1); err == nil {
+			return fmt.Errorf("negative tag accepted")
+		}
+		if _, err := c.Recv(9, 0); err == nil {
+			return fmt.Errorf("recv from bad rank accepted")
+		}
+		if _, err := c.Recv(0, -3); err == nil {
+			return fmt.Errorf("negative recv tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	for _, tk := range transports() {
+		var before, after int32
+		err := Run(4, tk, func(c *Comm) error {
+			atomic.AddInt32(&before, 1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if v := atomic.LoadInt32(&before); v != 4 {
+				return fmt.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), v)
+			}
+			atomic.AddInt32(&after, 1)
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%v: %v", tk, err)
+		}
+		if after != 4 {
+			t.Errorf("%v: %d ranks finished", tk, after)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, tk := range transports() {
+		err := Run(3, tk, func(c *Comm) error {
+			var payload any
+			if c.Rank() == 1 {
+				payload = []float64{3, 1, 4}
+			}
+			v, err := c.Broadcast(1, payload)
+			if err != nil {
+				return err
+			}
+			got := v.([]float64)
+			if len(got) != 3 || got[0] != 3 || got[2] != 4 {
+				return fmt.Errorf("rank %d broadcast = %v", c.Rank(), got)
+			}
+			// Successive collectives must not cross-match.
+			v2, err := c.Broadcast(0, func() any {
+				if c.Rank() == 0 {
+					return "round2"
+				}
+				return nil
+			}())
+			if err != nil || v2.(string) != "round2" {
+				return fmt.Errorf("second broadcast: %v %v", v2, err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%v: %v", tk, err)
+		}
+	}
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	err := Run(2, Channels, func(c *Comm) error {
+		if _, err := c.Broadcast(5, nil); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	for _, tk := range transports() {
+		err := Run(4, tk, func(c *Comm) error {
+			vals, err := c.Gather(2, c.Rank()*10)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 2 {
+				for r := 0; r < 4; r++ {
+					if vals[r].(int) != r*10 {
+						return fmt.Errorf("gather[%d] = %v", r, vals[r])
+					}
+				}
+			} else if vals != nil {
+				return fmt.Errorf("non-root got gather result")
+			}
+			var parts []any
+			if c.Rank() == 0 {
+				parts = []any{"p0", "p1", "p2", "p3"}
+			}
+			mine, err := c.Scatter(0, parts)
+			if err != nil {
+				return err
+			}
+			if mine.(string) != fmt.Sprintf("p%d", c.Rank()) {
+				return fmt.Errorf("scatter gave %v to rank %d", mine, c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%v: %v", tk, err)
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	err := Run(2, Channels, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, []any{"only-one"}); err == nil {
+				return fmt.Errorf("wrong part count accepted")
+			}
+			// Unblock peer: it is waiting in its Scatter recv; send it
+			// the matching collective tag via a real scatter.
+			_, err := c.Scatter(0, []any{"a", "b"})
+			return err
+		}
+		// First scatter fails at root before sending, so the second
+		// scatter's tag must be what this rank waits for. Consume the
+		// failed collective's tag slot to stay in SPMD sync.
+		c.nextCollTag()
+		v, err := c.Scatter(0, nil)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "b" {
+			return fmt.Errorf("got %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, tk := range transports() {
+		err := Run(4, tk, func(c *Comm) error {
+			mine := []float64{float64(c.Rank()), 1}
+			v, err := c.Reduce(0, mine, SumFloat64s)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got := v.([]float64)
+				if got[0] != 6 || got[1] != 4 {
+					return fmt.Errorf("reduce = %v", got)
+				}
+			}
+			// Allreduce == Reduce + Broadcast (the algebra property).
+			all, err := c.Allreduce(mine, SumFloat64s)
+			if err != nil {
+				return err
+			}
+			got := all.([]float64)
+			if got[0] != 6 || got[1] != 4 {
+				return fmt.Errorf("allreduce at rank %d = %v", c.Rank(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%v: %v", tk, err)
+		}
+	}
+}
+
+func TestSumFloat32s(t *testing.T) {
+	v, err := SumFloat32s([]float32{1, 2}, []float32{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.([]float32)
+	if got[0] != 4 || got[1] != 6 {
+		t.Errorf("sum = %v", got)
+	}
+	if _, err := SumFloat32s([]float32{1}, []float32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SumFloat32s("x", []float32{1}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := SumFloat64s([]float64{1}, 3); err == nil {
+		t.Error("float64 type mismatch accepted")
+	}
+}
+
+func TestNodeErrorPropagates(t *testing.T) {
+	for _, tk := range transports() {
+		sentinel := errors.New("node 2 exploded")
+		err := Run(3, tk, func(c *Comm) error {
+			if c.Rank() == 2 {
+				return sentinel
+			}
+			// These ranks block in a barrier that can never complete;
+			// the teardown must unblock them with an error.
+			err := c.Barrier()
+			if err == nil {
+				return fmt.Errorf("barrier succeeded despite dead peer")
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%v: err = %v, want sentinel", tk, err)
+		}
+	}
+}
+
+func TestLargePayloadTCP(t *testing.T) {
+	// A NORM-accumulator-sized float32 slice across real sockets.
+	big := make([]float32, 1<<20) // 4 MiB
+	for i := range big {
+		big[i] = float32(i % 1000)
+	}
+	err := Run(2, TCP, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, big)
+		}
+		v, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		got := v.([]float32)
+		if len(got) != len(big) {
+			return fmt.Errorf("len %d", len(got))
+		}
+		for i := 0; i < len(got); i += 100000 {
+			if math.Abs(float64(got[i]-big[i])) > 0 {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyRanksChannels(t *testing.T) {
+	err := Run(16, Channels, func(c *Comm) error {
+		v, err := c.Allreduce([]float64{1}, SumFloat64s)
+		if err != nil {
+			return err
+		}
+		if v.([]float64)[0] != 16 {
+			return fmt.Errorf("allreduce = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxFloat64s(t *testing.T) {
+	v, err := MaxFloat64s([]float64{1, 9, -3}, []float64{4, 2, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.([]float64)
+	if got[0] != 4 || got[1] != 9 || got[2] != -1 {
+		t.Errorf("max = %v", got)
+	}
+	if _, err := MaxFloat64s([]float64{1}, "x"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestReduceTreeMatchesLinear(t *testing.T) {
+	for _, tk := range transports() {
+		for _, size := range []int{1, 2, 3, 4, 5, 8} {
+			for root := 0; root < size; root += 2 {
+				err := Run(size, tk, func(c *Comm) error {
+					mine := []float64{float64(c.Rank() + 1), 2}
+					linear, err := c.Reduce(root, mine, SumFloat64s)
+					if err != nil {
+						return err
+					}
+					tree, err := c.ReduceTree(root, mine, SumFloat64s)
+					if err != nil {
+						return err
+					}
+					if c.Rank() == root {
+						lv, tv := linear.([]float64), tree.([]float64)
+						if lv[0] != tv[0] || lv[1] != tv[1] {
+							return fmt.Errorf("tree %v != linear %v", tv, lv)
+						}
+						wantSum := float64(size*(size+1)) / 2
+						if tv[0] != wantSum {
+							return fmt.Errorf("tree sum %v, want %v", tv[0], wantSum)
+						}
+					} else if tree != nil {
+						return fmt.Errorf("non-root got a tree-reduce result")
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%v size=%d root=%d: %v", tk, size, root, err)
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceTree(t *testing.T) {
+	err := Run(6, Channels, func(c *Comm) error {
+		v, err := c.AllreduceTree([]float64{1}, SumFloat64s)
+		if err != nil {
+			return err
+		}
+		if v.([]float64)[0] != 6 {
+			return fmt.Errorf("allreduce tree = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceTreeValidation(t *testing.T) {
+	err := Run(2, Channels, func(c *Comm) error {
+		if _, err := c.ReduceTree(9, 1, SumFloat64s); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}

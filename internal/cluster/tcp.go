@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single TCP message; genome-state reductions on
+// laptop-scale references fit comfortably, and anything larger is
+// almost certainly a bug.
+const maxFrame = 1 << 30
+
+// TCPTransport connects size ranks over loopback TCP with a full mesh
+// of connections. Each rank owns one endpoint per peer: rank i's
+// traffic to rank j is written on endpoint[i][j] and arrives at rank
+// j's endpoint[j][i]. Frames are length-prefixed:
+//
+//	uint32 from | uint32 tag (two's complement) | uint32 len | len bytes
+//
+// A reader goroutine per endpoint routes inbound frames to the owning
+// rank's inbox channel.
+type TCPTransport struct {
+	size    int
+	inboxes []chan packet
+	// endpoint[i][j] is the conn rank i uses to reach rank j.
+	endpoint [][]net.Conn
+	sendMu   [][]sync.Mutex
+	closed   chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewTCPTransport builds the full mesh on 127.0.0.1 ephemeral ports.
+func NewTCPTransport(size int) (*TCPTransport, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("cluster: tcp size %d", size)
+	}
+	t := &TCPTransport{
+		size:     size,
+		inboxes:  make([]chan packet, size),
+		endpoint: make([][]net.Conn, size),
+		sendMu:   make([][]sync.Mutex, size),
+		closed:   make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		t.inboxes[i] = make(chan packet, inboxDepth)
+		t.endpoint[i] = make([]net.Conn, size)
+		t.sendMu[i] = make([]sync.Mutex, size)
+	}
+	if size == 1 {
+		return t, nil
+	}
+	// One listener per rank; every higher rank dials every lower rank
+	// and announces itself with a 4-byte rank header.
+	listeners := make([]net.Listener, size)
+	for i := 0; i < size; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners {
+				if l != nil {
+					l.Close()
+				}
+			}
+			return nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+		listeners[i] = ln
+	}
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	// Acceptors: rank j accepts size-1-j connections (from ranks > j).
+	for j := 0; j < size-1; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for k := 0; k < size-1-j; k++ {
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					record(fmt.Errorf("cluster: accept at rank %d: %w", j, err))
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					record(fmt.Errorf("cluster: handshake at rank %d: %w", j, err))
+					return
+				}
+				peer := int(binary.BigEndian.Uint32(hdr[:]))
+				if peer <= j || peer >= size {
+					record(fmt.Errorf("cluster: bogus handshake rank %d at %d", peer, j))
+					return
+				}
+				mu.Lock()
+				t.endpoint[j][peer] = conn
+				mu.Unlock()
+			}
+		}(j)
+	}
+	// Dialers: rank i dials every lower rank j.
+	for i := 1; i < size; i++ {
+		for j := 0; j < i; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				if err != nil {
+					record(fmt.Errorf("cluster: dial %d->%d: %w", i, j, err))
+					return
+				}
+				var hdr [4]byte
+				binary.BigEndian.PutUint32(hdr[:], uint32(i))
+				if _, err := conn.Write(hdr[:]); err != nil {
+					record(fmt.Errorf("cluster: handshake %d->%d: %w", i, j, err))
+					return
+				}
+				mu.Lock()
+				t.endpoint[i][j] = conn
+				mu.Unlock()
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
+	for a := 0; a < size; a++ {
+		for b := 0; b < size; b++ {
+			if a != b && t.endpoint[a][b] == nil {
+				t.Close()
+				return nil, fmt.Errorf("cluster: mesh incomplete at (%d,%d)", a, b)
+			}
+		}
+	}
+	// One reader per endpoint: everything read there belongs to rank a.
+	for a := 0; a < size; a++ {
+		for b := 0; b < size; b++ {
+			if a == b {
+				continue
+			}
+			t.wg.Add(1)
+			go t.readLoop(t.endpoint[a][b], a)
+		}
+	}
+	return t, nil
+}
+
+// readLoop parses frames arriving at owner's endpoint and delivers them
+// to owner's inbox.
+func (t *TCPTransport) readLoop(conn net.Conn, owner int) {
+	defer t.wg.Done()
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		from := int(int32(binary.BigEndian.Uint32(hdr[0:4])))
+		tag := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+		n := binary.BigEndian.Uint32(hdr[8:12])
+		if n > maxFrame {
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		select {
+		case t.inboxes[owner] <- packet{From: from, Tag: tag, Data: data}:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(from, to int, p packet) error {
+	if to < 0 || to >= t.size || from < 0 || from >= t.size || from == to {
+		return fmt.Errorf("cluster: tcp send %d->%d of %d", from, to, t.size)
+	}
+	select {
+	case <-t.closed:
+		return fmt.Errorf("cluster: transport closed")
+	default:
+	}
+	conn := t.endpoint[from][to]
+	if conn == nil {
+		return fmt.Errorf("cluster: no connection %d->%d", from, to)
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(int32(p.From)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(p.Tag)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(p.Data)))
+	t.sendMu[from][to].Lock()
+	defer t.sendMu[from][to].Unlock()
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: tcp write: %w", err)
+	}
+	if _, err := conn.Write(p.Data); err != nil {
+		return fmt.Errorf("cluster: tcp write: %w", err)
+	}
+	return nil
+}
+
+// Inbox implements Transport.
+func (t *TCPTransport) Inbox(rank int) <-chan packet { return t.inboxes[rank] }
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		for a := range t.endpoint {
+			for b := range t.endpoint[a] {
+				if c := t.endpoint[a][b]; c != nil {
+					c.Close()
+				}
+			}
+		}
+		t.wg.Wait()
+		for _, ch := range t.inboxes {
+			close(ch)
+		}
+	})
+	return nil
+}

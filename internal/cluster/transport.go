@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// inboxDepth bounds per-rank in-flight packets before senders block;
+// it models finite network buffering and provides backpressure.
+const inboxDepth = 4096
+
+// ChannelTransport delivers packets through in-process channels.
+type ChannelTransport struct {
+	inboxes []chan packet
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewChannelTransport creates a transport for size ranks.
+func NewChannelTransport(size int) *ChannelTransport {
+	t := &ChannelTransport{inboxes: make([]chan packet, size)}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan packet, inboxDepth)
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *ChannelTransport) Send(from, to int, p packet) (err error) {
+	if to < 0 || to >= len(t.inboxes) {
+		return fmt.Errorf("cluster: channel send to rank %d of %d", to, len(t.inboxes))
+	}
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("cluster: transport closed")
+	}
+	defer func() {
+		// A concurrent Close can close the inbox while we block on the
+		// send; recover converts the panic into an orderly error path.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: transport closed during send")
+		}
+	}()
+	t.inboxes[to] <- p
+	return nil
+}
+
+// Inbox implements Transport.
+func (t *ChannelTransport) Inbox(rank int) <-chan packet { return t.inboxes[rank] }
+
+// Close implements Transport: closes all inboxes, unblocking receivers.
+func (t *ChannelTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for _, ch := range t.inboxes {
+		close(ch)
+	}
+	return nil
+}

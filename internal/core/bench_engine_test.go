@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"gnumap/internal/genome"
+)
+
+// BenchmarkMapReadsEndToEnd measures whole-engine throughput on a
+// 100 kbp dataset (the number EXPERIMENTS.md quotes as reads/s).
+func BenchmarkMapReadsEndToEnd(b *testing.B) {
+	g := makePipelineB(b, 100000, 9, 10, 91)
+	eng, err := NewEngine(g.ref, Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, _ := genome.New(genome.Norm, g.ref.Len())
+		if _, err := eng.MapReads(g.reads, acc, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(g.reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+	"gnumap/internal/simulate"
+)
+
+type pipelineB struct {
+	ref   *genome.Reference
+	reads []*fastq.Read
+}
+
+func makePipelineB(b *testing.B, length, nSNPs int, coverage float64, seed int64) *pipelineB {
+	b.Helper()
+	g, err := simulate.Genome(simulate.GenomeConfig{Length: length, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := simulate.Catalog(g, simulate.CatalogConfig{Count: nSNPs, Seed: seed + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ind, err := simulate.Mutate(g, cat, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := simulate.Reads(ind, simulate.ReadConfig{Length: 62, Coverage: coverage, Seed: seed + 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := genome.NewSingleContig("chrB", g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &pipelineB{ref: ref, reads: reads}
+}

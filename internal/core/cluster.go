@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gnumap/internal/cluster"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+)
+
+// The paper's two MPI modes (§VI Step 1):
+//
+//   - Read-split ("shared memory" in Figure 4): every node holds the
+//     whole genome and accumulator, maps a 1/N shard of the reads, and
+//     the accumulators are reduced to the root at the end. Minimal
+//     communication, maximal memory.
+//
+//   - Genome-split ("spread memory" in Figure 4): every node holds a
+//     1/N slice of the genome and accumulator, and every node maps all
+//     reads against its slice. Posterior-location normalization needs
+//     the *global* likelihood mass of each read, so nodes exchange
+//     per-read likelihood sums every batch (two Allreduce rounds, a
+//     max and a sum, giving a distributed log-sum-exp). Alignments
+//     spilling over a slice boundary route their out-of-range
+//     contributions to the owning node point-to-point at the end.
+//     Minimal memory, more communication — which is why the paper's
+//     Figure 4 shows it processing fewer sequences per second.
+
+// readShard returns rank r's contiguous shard of n items.
+func readShard(n, size, r int) (lo, hi int) {
+	lo = n * r / size
+	hi = n * (r + 1) / size
+	return lo, hi
+}
+
+// RunReadSplit executes read-split mapping on one cluster node. Every
+// rank maps its shard of reads against the full reference into a local
+// full-length accumulator; accumulators are then reduced to rank 0. The
+// returned accumulator is the merged result at rank 0 and nil
+// elsewhere; the returned Stats are global on every rank.
+func RunReadSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, mode genome.Mode, cfg Config) (genome.Accumulator, Stats, error) {
+	var st Stats
+	eng, err := NewEngine(ref, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	acc, err := genome.New(mode, ref.Len())
+	if err != nil {
+		return nil, st, err
+	}
+	lo, hi := readShard(len(reads), c.Size(), c.Rank())
+	local, err := eng.MapReads(reads[lo:hi], acc, 0)
+	if err != nil {
+		return nil, st, err
+	}
+	// Global stats.
+	sv, err := c.Allreduce([]float64{
+		float64(local.Mapped), float64(local.Unmapped), float64(local.Locations),
+	}, cluster.SumFloat64s)
+	if err != nil {
+		return nil, st, err
+	}
+	gs := sv.([]float64)
+	st = Stats{Mapped: int64(gs[0]), Unmapped: int64(gs[1]), Locations: int64(gs[2])}
+
+	// Reduce accumulator state to rank 0. Serialized states travel as
+	// messages (the paper's "communicate the state of their genome"),
+	// folded along a binomial tree so the merge work is distributed
+	// across ranks instead of serializing at the root.
+	stateful, ok := acc.(genome.Stateful)
+	if !ok {
+		return nil, st, fmt.Errorf("core: accumulator mode %v is not transportable", mode)
+	}
+	data, err := stateful.State()
+	if err != nil {
+		return nil, st, err
+	}
+	mergeStates := func(a, b any) (any, error) {
+		left, err := genome.New(mode, ref.Len())
+		if err != nil {
+			return nil, err
+		}
+		if err := left.(genome.Stateful).LoadStateBytes(a.([]byte)); err != nil {
+			return nil, err
+		}
+		right, err := genome.New(mode, ref.Len())
+		if err != nil {
+			return nil, err
+		}
+		if err := right.(genome.Stateful).LoadStateBytes(b.([]byte)); err != nil {
+			return nil, err
+		}
+		if err := left.Merge(right); err != nil {
+			return nil, err
+		}
+		return left.(genome.Stateful).State()
+	}
+	merged, err := c.ReduceTree(0, data, mergeStates)
+	if err != nil {
+		return nil, st, err
+	}
+	if c.Rank() != 0 {
+		return nil, st, nil
+	}
+	if err := stateful.LoadStateBytes(merged.([]byte)); err != nil {
+		return nil, st, err
+	}
+	return acc, st, nil
+}
+
+// GenomeSlice returns the [lo, hi) slice of the reference owned by a
+// rank in genome-split mode.
+func GenomeSlice(refLen, size, rank int) (lo, hi int) {
+	return readShard(refLen, size, rank)
+}
+
+// spillBatch flattens boundary-crossing contributions for transport:
+// groups of 6 float64s (position, five channel values), weight already
+// applied.
+type spillBatch []float64
+
+// GenomeSplitBatch is the number of reads per genome-split
+// normalization round: each batch costs two Allreduce collectives (a
+// max and a sum over one float64 per read). Exported so the
+// performance model in internal/experiments can count collective
+// rounds.
+const GenomeSplitBatch = 256
+
+// RunGenomeSplit executes genome-split mapping on one cluster node.
+// Every rank maps *all* reads against its genome slice; per-read
+// location posteriors are normalized globally via per-batch Allreduce
+// (log-sum-exp split into a max round and a sum round), and
+// contributions spilling outside the slice are routed to their owning
+// rank at the end. Returns the local slice accumulator, the owned
+// range, and global Stats.
+func RunGenomeSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, mode genome.Mode, cfg Config) (genome.Accumulator, int, int, Stats, error) {
+	var st Stats
+	cfg = cfg.withDefaults()
+	size, rank := c.Size(), c.Rank()
+	L := ref.Len()
+	// Validate globally-visible conditions identically on every rank:
+	// SPMD code must not have one rank error out of a collective while
+	// the others enter it.
+	if L < size {
+		return nil, 0, 0, st, fmt.Errorf("core: %d nodes for a %d-base reference leaves empty slices", size, L)
+	}
+	lo, hi := GenomeSlice(L, size, rank)
+	// Index an extended slice so boundary-straddling reads are found;
+	// ownership of a location is decided by its seed start.
+	maxReadLen := 0
+	for _, rd := range reads {
+		if len(rd.Seq) > maxReadLen {
+			maxReadLen = len(rd.Seq)
+		}
+	}
+	ext := maxReadLen + cfg.Pad + 1
+	idxLo, idxHi := lo-ext, hi+ext
+	if idxLo < 0 {
+		idxLo = 0
+	}
+	if idxHi > L {
+		idxHi = L
+	}
+	eng, err := newEngineSlice(ref, idxLo, idxHi, cfg)
+	if err != nil {
+		return nil, 0, 0, st, err
+	}
+	eng.ownLo, eng.ownHi = lo, hi
+
+	acc, err := genome.New(mode, hi-lo)
+	if err != nil {
+		return nil, 0, 0, st, err
+	}
+	m, err := eng.newMapper()
+	if err != nil {
+		return nil, 0, 0, st, err
+	}
+	spills := make(map[int]spillBatch) // destination rank -> flattened
+
+	for base := 0; base < len(reads); base += GenomeSplitBatch {
+		end := base + GenomeSplitBatch
+		if end > len(reads) {
+			end = len(reads)
+		}
+		b := end - base
+		// Phase 1: local alignment of the batch.
+		batchLocs := make([][]location, b)
+		localMax := make([]float64, b)
+		for i := range localMax {
+			localMax[i] = math.Inf(-1)
+		}
+		for i := 0; i < b; i++ {
+			locs, err := m.mapRead(reads[base+i])
+			if err != nil {
+				return nil, 0, 0, st, err
+			}
+			// mapRead's result aliases the mapper; copy.
+			cp := make([]location, len(locs))
+			copy(cp, locs)
+			batchLocs[i] = cp
+			for _, l := range cp {
+				if l.logLik > localMax[i] {
+					localMax[i] = l.logLik
+				}
+			}
+		}
+		// Phase 2: global normalization (distributed log-sum-exp).
+		gmaxAny, err := c.Allreduce(localMax, cluster.MaxFloat64s)
+		if err != nil {
+			return nil, 0, 0, st, err
+		}
+		gmax := gmaxAny.([]float64)
+		localSum := make([]float64, b)
+		for i := 0; i < b; i++ {
+			if math.IsInf(gmax[i], -1) {
+				continue
+			}
+			for _, l := range batchLocs[i] {
+				localSum[i] += math.Exp(l.logLik - gmax[i])
+			}
+		}
+		gsumAny, err := c.Allreduce(localSum, cluster.SumFloat64s)
+		if err != nil {
+			return nil, 0, 0, st, err
+		}
+		gsum := gsumAny.([]float64)
+		// Phase 3: apply weighted contributions; spill out-of-range
+		// positions to their owners.
+		for i := 0; i < b; i++ {
+			if rank == 0 { // read-level stats counted once globally
+				if math.IsInf(gmax[i], -1) || gsum[i] <= 0 {
+					st.Unmapped++
+				} else {
+					st.Mapped++
+				}
+			}
+			for _, l := range batchLocs[i] {
+				var w float64
+				if cfg.BestHitOnly {
+					if l.logLik == gmax[i] {
+						w = 1
+					}
+				} else if gsum[i] > 0 {
+					w = math.Exp(l.logLik-gmax[i]) / gsum[i]
+					if w < cfg.MinPosterior {
+						w = 0
+					}
+				}
+				if w == 0 {
+					continue
+				}
+				st.Locations++
+				applySliceContribution(acc, lo, hi, L, size, l, w, spills)
+			}
+		}
+	}
+	// Boundary exchange: everyone sends every other rank its spill
+	// (possibly empty), then receives.
+	const spillTag = 17
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		if err := c.Send(r, spillTag, []float64(spills[r])); err != nil {
+			return nil, 0, 0, st, err
+		}
+	}
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		v, err := c.Recv(r, spillTag)
+		if err != nil {
+			return nil, 0, 0, st, err
+		}
+		incoming := v.([]float64)
+		if len(incoming)%6 != 0 {
+			return nil, 0, 0, st, fmt.Errorf("core: malformed spill of %d floats from rank %d", len(incoming), r)
+		}
+		for off := 0; off < len(incoming); off += 6 {
+			pos := int(incoming[off])
+			var vec genome.Vec
+			copy(vec[:], incoming[off+1:off+6])
+			acc.AddRange(pos-lo, []genome.Vec{vec}, 1)
+		}
+	}
+	// Global stats.
+	sv, err := c.Allreduce([]float64{
+		float64(st.Mapped), float64(st.Unmapped), float64(st.Locations),
+	}, cluster.SumFloat64s)
+	if err != nil {
+		return nil, 0, 0, st, err
+	}
+	gs := sv.([]float64)
+	st = Stats{Mapped: int64(gs[0]), Unmapped: int64(gs[1]), Locations: int64(gs[2])}
+	return acc, lo, hi, st, nil
+}
+
+// applySliceContribution adds the in-range part of a weighted location
+// to the local accumulator and buffers the rest for the owning ranks.
+func applySliceContribution(acc genome.Accumulator, lo, hi, L, size int, l location, w float64, spills map[int]spillBatch) {
+	start := l.windowStart
+	endPos := start + len(l.contribs)
+	if start >= lo && endPos <= hi {
+		acc.AddRange(start-lo, l.contribs, w)
+		return
+	}
+	// Split: in-range part via AddRange (clipped), out-of-range
+	// positions spilled individually.
+	acc.AddRange(start-lo, l.contribs, w)
+	for k, vec := range l.contribs {
+		pos := start + k
+		if pos >= lo && pos < hi {
+			continue
+		}
+		if pos < 0 || pos >= L {
+			continue
+		}
+		owner := ownerOf(pos, L, size)
+		var weighted genome.Vec
+		nonzero := false
+		for ch := range vec {
+			weighted[ch] = vec[ch] * w
+			if weighted[ch] != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		sp := spills[owner]
+		sp = append(sp, float64(pos))
+		sp = append(sp, weighted[:]...)
+		spills[owner] = sp
+	}
+}
+
+// ownerOf returns the rank owning a global position under GenomeSlice.
+func ownerOf(pos, L, size int) int {
+	// GenomeSlice gives rank r the range [L·r/size, L·(r+1)/size); the
+	// inverse is floor((pos·size + size - 1 ... )) — search locally to
+	// stay exactly consistent with integer division.
+	r := pos * size / L
+	for r > 0 {
+		lo, _ := GenomeSlice(L, size, r)
+		if pos >= lo {
+			break
+		}
+		r--
+	}
+	for r < size-1 {
+		_, hi := GenomeSlice(L, size, r)
+		if pos < hi {
+			break
+		}
+		r++
+	}
+	return r
+}

@@ -1,0 +1,494 @@
+// Package core is the GNUMAP-SNP mapping engine: the paper's three-step
+// pipeline (k-mer seeding → probabilistic Pair-HMM marginal alignment →
+// online accumulation of per-position nucleotide probabilities), with
+// the shared-memory worker-pool parallelization, and — in cluster.go —
+// the two MPI-style distributed modes (read-split and genome-split).
+//
+// The engine's distinguishing behaviours, which the ablation benches
+// isolate, are:
+//
+//  1. quality-weighted PHMM emissions (reads are PWMs, not strings);
+//  2. marginal (forward-backward) accumulation over all alignments of a
+//     read at a location, rather than one best path;
+//  3. multi-location posterior weighting: a read mapping plausibly to
+//     several locations contributes to all of them, weighted by each
+//     location's share of the total alignment likelihood.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+	"gnumap/internal/kmer"
+	"gnumap/internal/phmm"
+	"gnumap/internal/pwm"
+)
+
+// Config tunes the engine. Zero values select paper defaults.
+type Config struct {
+	// PHMM holds the Pair-HMM parameters (default phmm.DefaultParams).
+	PHMM phmm.Params
+	// AlignMode selects Global (paper-faithful windows) or SemiGlobal
+	// (padded windows, the default).
+	AlignMode phmm.Mode
+	// K is the seed k-mer length (default kmer.DefaultK = 10).
+	K int
+	// Pad is the extra genome context on each side of a candidate
+	// window in SemiGlobal mode (default 8).
+	Pad int
+	// Workers is the shared-memory worker count (default GOMAXPROCS).
+	Workers int
+	// Attribution selects how posterior mass maps to base channels
+	// (default phmm.ByCall, the paper's formulation).
+	Attribution phmm.Attribution
+	// MaxCandidates caps candidate locations per strand (default 8).
+	MaxCandidates int
+	// MinSeedVotes drops candidate diagonals with fewer seed hits
+	// (default 2; 1 for very short reads).
+	MinSeedVotes int
+	// MinVoteFraction drops candidates whose seed votes are below this
+	// fraction of the read's best candidate across both strands
+	// (default 0.25). True multi-mapping locations retain near-equal
+	// votes and survive; spurious diagonals with a couple of chance
+	// seed hits are skipped before the expensive PHMM.
+	MinVoteFraction float64
+	// MaxBucket masks seed k-mers occurring more often than this in
+	// the reference (default 1024).
+	MaxBucket int
+	// MinPosterior drops mapping locations carrying less than this
+	// share of a read's total alignment likelihood (default 0.01).
+	MinPosterior float64
+	// MinLocLogLik rejects individual alignments whose per-base
+	// log-likelihood is below this (default -2.0; random 62-bp
+	// alignments score far lower, true mappings far higher). It is
+	// the engine's "does this read map here at all" filter.
+	MinLocLogLik float64
+	// ViterbiOnly switches accumulation to the single best path per
+	// location (ablation of the marginal alignment).
+	ViterbiOnly bool
+	// IgnoreQualities treats every read as perfectly called (one-hot
+	// PWM rows), disabling the paper's quality-weighted emission
+	// p*(i,j) (ablation of the PWM extension).
+	IgnoreQualities bool
+	// BestHitOnly keeps only the highest-likelihood location per read
+	// (ablation of multi-location posterior weighting).
+	BestHitOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	zero := phmm.Params{}
+	if c.PHMM == zero {
+		c.PHMM = phmm.DefaultParams()
+	}
+	if c.K == 0 {
+		c.K = kmer.DefaultK
+	}
+	if c.Pad == 0 {
+		c.Pad = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 8
+	}
+	if c.MinSeedVotes == 0 {
+		c.MinSeedVotes = 2
+	}
+	if c.MaxBucket == 0 {
+		c.MaxBucket = 1024
+	}
+	if c.MinPosterior == 0 {
+		c.MinPosterior = 0.01
+	}
+	if c.MinVoteFraction == 0 {
+		c.MinVoteFraction = 0.25
+	}
+	if c.MinLocLogLik == 0 {
+		c.MinLocLogLik = -2.0
+	}
+	return c
+}
+
+// Stats counts mapping outcomes.
+type Stats struct {
+	// Mapped and Unmapped count reads; Locations counts accepted
+	// (read, location) pairs — Locations/Mapped > 1 indicates
+	// multi-mapping reads contributing to several loci.
+	Mapped, Unmapped, Locations int64
+}
+
+// add merges another Stats (used when aggregating across nodes).
+func (s *Stats) add(o Stats) {
+	s.Mapped += o.Mapped
+	s.Unmapped += o.Unmapped
+	s.Locations += o.Locations
+}
+
+// Engine maps reads against one reference (or reference slice).
+type Engine struct {
+	cfg Config
+	ref *genome.Reference
+	idx *kmer.Index
+	// indexOffset is the global position of idx position 0 (non-zero
+	// for genome-split nodes indexing a slice).
+	indexOffset int
+	// ownLo/ownHi restrict accepted candidate starts to [ownLo, ownHi)
+	// in genome-split mode, so a location straddling two nodes' index
+	// overlap is claimed by exactly one of them.
+	ownLo, ownHi int
+}
+
+// NewEngine indexes the full reference.
+func NewEngine(ref *genome.Reference, cfg Config) (*Engine, error) {
+	if ref == nil || ref.Len() == 0 {
+		return nil, fmt.Errorf("core: empty reference")
+	}
+	return newEngineSlice(ref, 0, ref.Len(), cfg)
+}
+
+// newEngineSlice indexes only global positions [lo, hi) of the
+// reference (genome-split mode).
+func newEngineSlice(ref *genome.Reference, lo, hi int, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.PHMM.Validate(); err != nil {
+		return nil, err
+	}
+	if ref == nil || ref.Len() == 0 {
+		return nil, fmt.Errorf("core: empty reference")
+	}
+	if lo < 0 || hi > ref.Len() || lo >= hi {
+		return nil, fmt.Errorf("core: slice [%d,%d) of reference length %d", lo, hi, ref.Len())
+	}
+	idx, err := kmer.New(ref.Seq()[lo:hi], cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, ref: ref, idx: idx, indexOffset: lo, ownLo: 0, ownHi: ref.Len()}, nil
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// IndexMemoryBytes reports the k-mer index footprint.
+func (e *Engine) IndexMemoryBytes() int64 { return e.idx.MemoryBytes() }
+
+// location is one accepted mapping of a read.
+type location struct {
+	// windowStart is the global position of contribs[0].
+	windowStart int
+	logLik      float64
+	contribs    []genome.Vec
+	// minus marks a reverse-strand alignment.
+	minus bool
+	// windowLen is the candidate window length (for re-alignment when
+	// a concrete path is needed, e.g. SAM output).
+	windowLen int
+}
+
+// mapper holds per-worker scratch state.
+type mapper struct {
+	e       *Engine
+	aligner *phmm.Aligner
+	locs    []location
+	totals  []float64
+}
+
+func (e *Engine) newMapper() (*mapper, error) {
+	al, err := phmm.NewAligner(e.cfg.PHMM, e.cfg.AlignMode)
+	if err != nil {
+		return nil, err
+	}
+	return &mapper{e: e, aligner: al}, nil
+}
+
+// mapRead computes the accepted locations of one read with raw
+// log-likelihoods; posterior weighting happens in the caller so the
+// genome-split mode can normalize globally. The returned slice aliases
+// m.locs and is valid until the next mapRead call.
+func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
+	m.locs = m.locs[:0]
+	if err := rd.Validate(); err != nil {
+		return nil, nil // malformed read: unmapped, not fatal
+	}
+	var fwdPWM *pwm.Matrix
+	var err error
+	if m.e.cfg.IgnoreQualities {
+		fwdPWM, err = pwm.FromSeqUniformError(rd.Seq, 0)
+	} else {
+		fwdPWM, err = pwm.FromRead(rd)
+	}
+	if err != nil {
+		return nil, nil
+	}
+	revPWM := fwdPWM.ReverseComplement()
+	e := m.e
+	minVotes := e.cfg.MinSeedVotes
+	if len(rd.Seq) < 2*e.cfg.K {
+		minVotes = 1
+	}
+	opts := kmer.CandidateOptions{
+		MaxCandidates: e.cfg.MaxCandidates,
+		MinVotes:      minVotes,
+		MaxBucket:     e.cfg.MaxBucket,
+		// SemiGlobal windows are padded, so nearby diagonals (indel
+		// shifts) can merge into one candidate; Global windows must
+		// start on the exact diagonal.
+		Slack: 2,
+	}
+	pad := e.cfg.Pad
+	if e.cfg.AlignMode == phmm.Global {
+		pad = 0
+		opts.Slack = 0
+	}
+	type strandCase struct {
+		p     *pwm.Matrix
+		calls dna.Seq
+	}
+	strands := []strandCase{{fwdPWM, fwdPWM.Calls()}, {revPWM, revPWM.Calls()}}
+	// Collect candidates from both strands first so the vote filter is
+	// relative to the read's best location overall.
+	type scored struct {
+		sc   int
+		cand kmer.Candidate
+	}
+	var cands []scored
+	bestVotes := int32(0)
+	for si := range strands {
+		for _, cand := range e.idx.Candidates(strands[si].calls, opts) {
+			cands = append(cands, scored{sc: si, cand: cand})
+			if cand.Votes > bestVotes {
+				bestVotes = cand.Votes
+			}
+		}
+	}
+	voteCut := int32(e.cfg.MinVoteFraction * float64(bestVotes))
+	for _, cs := range cands {
+		{
+			cand := cs.cand
+			sc := strands[cs.sc]
+			minus := cs.sc == 1
+			if cand.Votes < voteCut {
+				continue
+			}
+			globalStart := int(cand.Start) + e.indexOffset
+			if globalStart < e.ownLo || globalStart >= e.ownHi {
+				continue
+			}
+			winStart := globalStart - pad
+			winLen := len(rd.Seq) + 2*pad
+			window, clippedStart := e.ref.Window(winStart, winLen)
+			if len(window) < len(rd.Seq) && e.cfg.AlignMode == phmm.Global {
+				continue
+			}
+			if len(window) == 0 {
+				continue
+			}
+			if err := m.alignAt(sc.p, window, clippedStart, len(rd.Seq), minus); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m.locs, nil
+}
+
+// alignAt aligns a PWM to a window and appends an accepted location.
+func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen int, minus bool) error {
+	e := m.e
+	if e.cfg.ViterbiOnly {
+		return m.viterbiAt(p, window, windowStart, readLen, minus)
+	}
+	res, err := m.aligner.Align(p, window)
+	if err == phmm.ErrNoAlignment {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if res.LogLik/float64(readLen) < e.cfg.MinLocLogLik {
+		return nil
+	}
+	contribs := make([]genome.Vec, len(window))
+	if cap(m.totals) < len(window) {
+		m.totals = make([]float64, len(window))
+	}
+	totals := m.totals[:len(window)]
+	if err := res.ContributionsInto(e.cfg.Attribution, contribs, totals); err != nil {
+		return err
+	}
+	any := false
+	for j := range contribs {
+		if totals[j] > 0.5 {
+			// Positions materially covered by the alignment keep
+			// their normalized channel vector; lightly grazed window
+			// padding (total << 1) is noise and is zeroed.
+			any = true
+		} else {
+			contribs[j] = genome.Vec{}
+		}
+	}
+	if !any {
+		return nil
+	}
+	m.locs = append(m.locs, location{
+		windowStart: windowStart, logLik: res.LogLik, contribs: contribs,
+		minus: minus, windowLen: len(window),
+	})
+	return nil
+}
+
+// viterbiAt is the single-best-path ablation: the best alignment's
+// matched bases contribute deterministically (probability one each).
+func (m *mapper) viterbiAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen int, minus bool) error {
+	path, err := m.aligner.Viterbi(p, window)
+	if err == phmm.ErrNoAlignment {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if path.LogProb/float64(readLen) < m.e.cfg.MinLocLogLik {
+		return nil
+	}
+	contribs := make([]genome.Vec, len(window))
+	i := 0 // read cursor
+	j := path.Start - 1
+	for _, op := range path.Ops {
+		switch op {
+		case phmm.OpMatch:
+			call := p.Call(i)
+			if call.IsConcrete() {
+				contribs[j][call] = 1
+			}
+			i++
+			j++
+		case phmm.OpInsert:
+			i++
+		case phmm.OpDelete:
+			contribs[j][dna.ChGap] = 1
+			j++
+		}
+	}
+	m.locs = append(m.locs, location{
+		windowStart: windowStart, logLik: path.LogProb, contribs: contribs,
+		minus: minus, windowLen: len(window),
+	})
+	return nil
+}
+
+// weights converts location log-likelihoods to posterior weights with a
+// numerically safe softmax; locations below MinPosterior are zeroed.
+// With BestHitOnly, the best location gets weight 1.
+func (e *Engine) weights(locs []location) []float64 {
+	w := make([]float64, len(locs))
+	if len(locs) == 0 {
+		return w
+	}
+	if e.cfg.BestHitOnly {
+		best := 0
+		for i := range locs {
+			if locs[i].logLik > locs[best].logLik {
+				best = i
+			}
+		}
+		w[best] = 1
+		return w
+	}
+	maxLL := math.Inf(-1)
+	for i := range locs {
+		if locs[i].logLik > maxLL {
+			maxLL = locs[i].logLik
+		}
+	}
+	sum := 0.0
+	for i := range locs {
+		w[i] = math.Exp(locs[i].logLik - maxLL)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+		if w[i] < e.cfg.MinPosterior {
+			w[i] = 0
+		}
+	}
+	return w
+}
+
+// MapReads maps reads with the shared-memory worker pool, accumulating
+// online into acc. Accumulator index 0 corresponds to global position
+// accOffset (zero for a whole-genome accumulator).
+func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset int) (Stats, error) {
+	var st Stats
+	if acc == nil {
+		return st, fmt.Errorf("core: nil accumulator")
+	}
+	workers := e.cfg.Workers
+	if workers > len(reads) && len(reads) > 0 {
+		workers = len(reads)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	next := int64(-1)
+	const batch = 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := e.newMapper()
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for {
+				lo := (atomic.AddInt64(&next, 1)) * batch
+				if lo >= int64(len(reads)) {
+					return
+				}
+				hi := lo + batch
+				if hi > int64(len(reads)) {
+					hi = int64(len(reads))
+				}
+				for _, rd := range reads[lo:hi] {
+					locs, err := m.mapRead(rd)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					if len(locs) == 0 {
+						atomic.AddInt64(&st.Unmapped, 1)
+						continue
+					}
+					atomic.AddInt64(&st.Mapped, 1)
+					ws := e.weights(locs)
+					for i, loc := range locs {
+						if ws[i] == 0 {
+							continue
+						}
+						atomic.AddInt64(&st.Locations, 1)
+						acc.AddRange(loc.windowStart-accOffset, loc.contribs, ws[i])
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return st, firstErr
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"gnumap/internal/fastq"
+	"gnumap/internal/phmm"
+	"gnumap/internal/pwm"
+)
+
+// CollectTrainingPairs maps reads and returns (PWM, window) training
+// pairs for Baum-Welch parameter estimation (phmm.Fit), keeping only
+// confidently, uniquely mapped reads: a single location holding at
+// least minWeight of the read's posterior mass. max bounds the number
+// of pairs (0 = no bound). The returned windows alias the reference.
+func (e *Engine) CollectTrainingPairs(reads []*fastq.Read, max int, minWeight float64) ([]phmm.TrainingPair, error) {
+	if minWeight == 0 {
+		minWeight = 0.99
+	}
+	if minWeight < 0.5 || minWeight > 1 {
+		return nil, fmt.Errorf("core: training minWeight %g out of [0.5, 1]", minWeight)
+	}
+	m, err := e.newMapper()
+	if err != nil {
+		return nil, err
+	}
+	var pairs []phmm.TrainingPair
+	for _, rd := range reads {
+		if max > 0 && len(pairs) >= max {
+			break
+		}
+		locs, err := m.mapRead(rd)
+		if err != nil {
+			return nil, err
+		}
+		if len(locs) == 0 {
+			continue
+		}
+		ws := e.weights(locs)
+		best, bestW := -1, 0.0
+		for i, w := range ws {
+			if w > bestW {
+				best, bestW = i, w
+			}
+		}
+		if best < 0 || bestW < minWeight {
+			continue
+		}
+		loc := locs[best]
+		window, _ := e.ref.Window(loc.windowStart, loc.windowLen)
+		if len(window) == 0 {
+			continue
+		}
+		var x *pwm.Matrix
+		if e.cfg.IgnoreQualities {
+			x, err = pwm.FromSeqUniformError(rd.Seq, 0)
+		} else {
+			x, err = pwm.FromRead(rd)
+		}
+		if err != nil {
+			continue
+		}
+		if loc.minus {
+			x = x.ReverseComplement()
+		}
+		pairs = append(pairs, phmm.TrainingPair{X: x, Y: window})
+	}
+	return pairs, nil
+}

@@ -1,0 +1,205 @@
+package fasta
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gnumap/internal/dna"
+)
+
+func TestReadSingleRecord(t *testing.T) {
+	in := ">chr1 test chromosome\nACGT\nACGT\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "chr1" || r.Description != "test chromosome" {
+		t.Errorf("header parsed as %q/%q", r.Name, r.Description)
+	}
+	if r.Seq.String() != "ACGTACGT" {
+		t.Errorf("seq = %q, want ACGTACGT", r.Seq.String())
+	}
+}
+
+func TestReadMultiRecord(t *testing.T) {
+	in := ">a\nAC\nGT\n>b desc here\nTTTT\n\n>c\nNN\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Seq.String() != "ACGT" || recs[1].Seq.String() != "TTTT" || recs[2].Seq.String() != "NN" {
+		t.Errorf("bodies wrong: %q %q %q", recs[0].Seq, recs[1].Seq, recs[2].Seq)
+	}
+	if recs[1].Description != "desc here" {
+		t.Errorf("description = %q", recs[1].Description)
+	}
+}
+
+func TestReadCRLFAndNoTrailingNewline(t *testing.T) {
+	in := ">x\r\nACGT\r\nAC"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Seq.String() != "ACGTAC" {
+		t.Errorf("seq = %q, want ACGTAC", recs[0].Seq.String())
+	}
+}
+
+func TestReadLowercaseAndAmbiguity(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">x\nacgtRY\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Seq.String() != "ACGTNN" {
+		t.Errorf("seq = %q, want ACGTNN", recs[0].Seq.String())
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no leading header", "ACGT\n>x\nAC\n"},
+		{"empty name", "> \nACGT\n"},
+		{"invalid base", ">x\nAC!T\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadAll(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty input: recs=%v err=%v", recs, err)
+	}
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next on empty = %v, want EOF", err)
+	}
+	// Next after EOF stays EOF.
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("second Next = %v, want EOF", err)
+	}
+}
+
+func TestEmptyBodyRecord(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">x\n>y\nAC\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || len(recs[0].Seq) != 0 || recs[1].Seq.String() != "AC" {
+		t.Errorf("empty-body handling wrong: %+v", recs)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	in := []*Record{
+		{Name: "a", Description: "first", Seq: mustSeq(t, "ACGTACGTACGT")},
+		{Name: "b", Seq: mustSeq(t, "TT")},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Width = 5
+	for _, rec := range in {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := ">a first\nACGTA\nCGTAC\nGT\n>b\nTT\n"
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Seq.String() != in[0].Seq.String() || back[1].Seq.String() != in[1].Seq.String() {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/ref.fa"
+	recs := []*Record{{Name: "chr", Seq: mustSeq(t, "ACGTN")}}
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Seq.String() != "ACGTN" {
+		t.Errorf("file round trip mismatch: %+v", back)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(t.TempDir() + "/nope.fa"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func mustSeq(t *testing.T, s string) dna.Seq {
+	t.Helper()
+	seq, err := dna.ParseSeq(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/ref.fa.gz"
+	recs := []*Record{{Name: "z", Seq: mustSeq(t, "ACGTACGT")}}
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	// The file must actually be gzip (magic bytes).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("output is not gzip")
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Seq.String() != "ACGTACGT" {
+		t.Errorf("gzip round trip mismatch: %+v", back)
+	}
+}
+
+// The parser must never panic, whatever bytes arrive.
+func TestParserRobustnessProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, err := ReadAll(bytes.NewReader(raw))
+		_ = err // any error is fine; panics are not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package genome implements the per-position nucleotide-probability
+// accumulators at the heart of GNUMAP-SNP's online SNP calling, in the
+// paper's three memory layouts:
+//
+//   - NORM (paper "NORM"): five float32 values per genome position —
+//     the straightforward layout, ~20 bytes/base.
+//   - CHARDISC (paper §VI-B-1, "nucleotide-byte discretization"): one
+//     float32 running total plus five single-byte channel fractions per
+//     position, ~9 bytes/base. Fractions quantize to 1/255 units, so
+//     late small contributions to a heavily covered position can round
+//     to nothing — the saturation behaviour the paper analyzes.
+//   - CENTDISC (paper §VI-B-2, "centroid discretization"): one
+//     float32 running total plus a single byte indexing a 256-entry
+//     codebook of biologically weighted channel distributions,
+//     ~5 bytes/base. Every update re-quantizes to the nearest centroid,
+//     which is why the paper finds its accuracy collapses.
+//
+// All accumulators are safe for concurrent use: positions are guarded
+// by striped locks, and AddRange locks each stripe once per spanned
+// range rather than once per position.
+package genome
+
+import (
+	"fmt"
+	"sync"
+
+	"gnumap/internal/dna"
+)
+
+// Vec is a per-position channel accumulation (A, C, G, T, gap).
+type Vec = [dna.NumChannels]float64
+
+// Mode selects the accumulator memory layout.
+type Mode int
+
+const (
+	// Norm stores five float32 per position.
+	Norm Mode = iota
+	// CharDisc stores a float32 total plus five byte fractions.
+	CharDisc
+	// CentDisc stores a float32 total plus one codebook byte.
+	CentDisc
+)
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case Norm:
+		return "NORM"
+	case CharDisc:
+		return "CHARDISC"
+	case CentDisc:
+		return "CENTDISC"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Accumulator is the per-position probability store shared by all
+// memory modes.
+type Accumulator interface {
+	// Len returns the number of positions.
+	Len() int
+	// Mode returns the memory layout.
+	Mode() Mode
+	// AddRange adds weight·zs[k] to position start+k for every k.
+	// Positions outside [0, Len) are ignored (reads can hang off the
+	// ends of a node's genome slice).
+	AddRange(start int, zs []Vec, weight float64)
+	// Vector returns the accumulated totals at a position.
+	Vector(pos int) Vec
+	// Total returns the total accumulated mass at a position.
+	Total(pos int) float64
+	// MemoryBytes reports the approximate heap footprint of the
+	// per-position state (the Table II accounting).
+	MemoryBytes() int64
+	// Merge folds another accumulator of the same mode and length into
+	// this one (the MPI reduction step).
+	Merge(other Accumulator) error
+}
+
+// New constructs an accumulator of the given mode and length.
+func New(mode Mode, length int) (Accumulator, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("genome: accumulator length %d", length)
+	}
+	switch mode {
+	case Norm:
+		return newNormAcc(length), nil
+	case CharDisc:
+		return newCharDiscAcc(length), nil
+	case CentDisc:
+		return newCentDiscAcc(length), nil
+	default:
+		return nil, fmt.Errorf("genome: unknown mode %d", int(mode))
+	}
+}
+
+// stripeShift gives 4096-position lock stripes: small enough for low
+// contention across workers mapping different genome regions, large
+// enough that a read-length range spans at most two stripes.
+const stripeShift = 12
+
+// stripes builds the lock set for a given length.
+func stripes(length int) []sync.Mutex {
+	n := (length >> stripeShift) + 1
+	return make([]sync.Mutex, n)
+}
+
+// lockRange locks every stripe covering [start, end) and returns an
+// unlock function. Stripes are acquired in ascending order, so
+// concurrent overlapping ranges cannot deadlock.
+func lockRange(locks []sync.Mutex, start, end int) func() {
+	first := start >> stripeShift
+	last := (end - 1) >> stripeShift
+	if first < 0 {
+		first = 0
+	}
+	if last >= len(locks) {
+		last = len(locks) - 1
+	}
+	for s := first; s <= last; s++ {
+		locks[s].Lock()
+	}
+	return func() {
+		for s := first; s <= last; s++ {
+			locks[s].Unlock()
+		}
+	}
+}
+
+// clampRange clips an update range to [0, length) and returns the
+// corresponding slice offsets into zs.
+func clampRange(start, n, length int) (from, to, zsFrom int, ok bool) {
+	from, to, zsFrom = start, start+n, 0
+	if from < 0 {
+		zsFrom = -from
+		from = 0
+	}
+	if to > length {
+		to = length
+	}
+	if from >= to {
+		return 0, 0, 0, false
+	}
+	return from, to, zsFrom, true
+}
+
+// normAcc is the NORM layout: a flat float32 array, five per position.
+type normAcc struct {
+	length int
+	data   []float32 // len = 5·length
+	locks  []sync.Mutex
+}
+
+func newNormAcc(length int) *normAcc {
+	return &normAcc{
+		length: length,
+		data:   make([]float32, dna.NumChannels*length),
+		locks:  stripes(length),
+	}
+}
+
+func (a *normAcc) Len() int   { return a.length }
+func (a *normAcc) Mode() Mode { return Norm }
+
+func (a *normAcc) AddRange(start int, zs []Vec, weight float64) {
+	from, to, zsFrom, ok := clampRange(start, len(zs), a.length)
+	if !ok {
+		return
+	}
+	unlock := lockRange(a.locks, from, to)
+	defer unlock()
+	for pos := from; pos < to; pos++ {
+		z := &zs[zsFrom+pos-from]
+		base := pos * dna.NumChannels
+		for k := 0; k < dna.NumChannels; k++ {
+			a.data[base+k] += float32(weight * z[k])
+		}
+	}
+}
+
+func (a *normAcc) Vector(pos int) Vec {
+	unlock := lockRange(a.locks, pos, pos+1)
+	defer unlock()
+	var v Vec
+	base := pos * dna.NumChannels
+	for k := 0; k < dna.NumChannels; k++ {
+		v[k] = float64(a.data[base+k])
+	}
+	return v
+}
+
+func (a *normAcc) Total(pos int) float64 {
+	v := a.Vector(pos)
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+func (a *normAcc) MemoryBytes() int64 {
+	return int64(len(a.data)) * 4
+}
+
+func (a *normAcc) Merge(other Accumulator) error {
+	o, ok := other.(*normAcc)
+	if !ok || o.length != a.length {
+		return fmt.Errorf("genome: cannot merge %v/%d into NORM/%d", other.Mode(), other.Len(), a.length)
+	}
+	unlock := lockRange(a.locks, 0, a.length)
+	defer unlock()
+	for i := range a.data {
+		a.data[i] += o.data[i]
+	}
+	return nil
+}
+
+// RawState exposes the flat channel array for serialization by the
+// cluster transport. The returned slice aliases live state; callers
+// must quiesce writers first.
+func (a *normAcc) RawState() []float32 { return a.data }
+
+// LoadState overwrites the accumulator from a serialized flat array.
+func (a *normAcc) LoadState(data []float32) error {
+	if len(data) != len(a.data) {
+		return fmt.Errorf("genome: NORM state length %d, want %d", len(data), len(a.data))
+	}
+	copy(a.data, data)
+	return nil
+}

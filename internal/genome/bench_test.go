@@ -1,0 +1,52 @@
+package genome
+
+import "testing"
+
+// BenchmarkAddRange measures the per-mode cost of the accumulation hot
+// path: one 62-position read contribution.
+func BenchmarkAddRange(b *testing.B) {
+	zs := make([]Vec, 62)
+	for i := range zs {
+		zs[i] = Vec{0.9, 0.05, 0.03, 0.02, 0}
+	}
+	for _, mode := range allModes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			acc, err := New(mode, 100_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.AddRange((i*977)%(100_000-70), zs, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	zs := make([]Vec, 62)
+	for i := range zs {
+		zs[i] = Vec{0.9, 0.05, 0.03, 0.02, 0}
+	}
+	for _, mode := range allModes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			src, err := New(mode, 100_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 1000; i++ {
+				src.AddRange((i*977)%(100_000-70), zs, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, err := New(mode, 100_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := dst.Merge(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package genome
+
+import (
+	"fmt"
+	"sort"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fasta"
+)
+
+// Contig is one reference sequence with its offset in the concatenated
+// global coordinate space.
+type Contig struct {
+	Name   string
+	Seq    dna.Seq
+	Offset int
+}
+
+// BoundarySpacer is the number of N bases inserted between contigs in
+// the concatenated coordinate space. N runs are never indexed as seed
+// k-mers and carry only uniform emission probability, so reads cannot
+// map across a contig junction as if the two contigs were adjacent.
+// 64 exceeds any realistic read length's seed span.
+const BoundarySpacer = 64
+
+// Reference is a multi-contig reference genome addressed by a single
+// global coordinate space: the concatenation of its contigs with
+// BoundarySpacer N bases between consecutive contigs. The mapper
+// indexes and accumulates over global coordinates; Locate maps back to
+// contig-relative coordinates for reporting.
+type Reference struct {
+	contigs []Contig
+	concat  dna.Seq
+}
+
+// NewReference builds a Reference from FASTA records.
+func NewReference(recs []*fasta.Record) (*Reference, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("genome: reference has no contigs")
+	}
+	r := &Reference{}
+	offset := 0
+	seen := make(map[string]bool, len(recs))
+	for i, rec := range recs {
+		if rec.Name == "" {
+			return nil, fmt.Errorf("genome: contig with empty name")
+		}
+		if seen[rec.Name] {
+			return nil, fmt.Errorf("genome: duplicate contig name %q", rec.Name)
+		}
+		if len(rec.Seq) == 0 {
+			return nil, fmt.Errorf("genome: contig %q is empty", rec.Name)
+		}
+		seen[rec.Name] = true
+		if i > 0 {
+			offset += BoundarySpacer
+		}
+		r.contigs = append(r.contigs, Contig{Name: rec.Name, Seq: rec.Seq, Offset: offset})
+		offset += len(rec.Seq)
+	}
+	r.concat = make(dna.Seq, 0, offset)
+	for i, c := range r.contigs {
+		if i > 0 {
+			for k := 0; k < BoundarySpacer; k++ {
+				r.concat = append(r.concat, dna.N)
+			}
+		}
+		r.concat = append(r.concat, c.Seq...)
+	}
+	return r, nil
+}
+
+// NewSingleContig wraps one sequence as a Reference.
+func NewSingleContig(name string, seq dna.Seq) (*Reference, error) {
+	return NewReference([]*fasta.Record{{Name: name, Seq: seq}})
+}
+
+// Len returns the total reference length across contigs.
+func (r *Reference) Len() int { return len(r.concat) }
+
+// Seq returns the concatenated reference sequence (aliased; read-only).
+func (r *Reference) Seq() dna.Seq { return r.concat }
+
+// Contigs returns the contig table (aliased; read-only).
+func (r *Reference) Contigs() []Contig { return r.contigs }
+
+// Base returns the reference base at a global position.
+func (r *Reference) Base(pos int) (dna.Code, error) {
+	if pos < 0 || pos >= len(r.concat) {
+		return dna.N, fmt.Errorf("genome: position %d outside reference of length %d", pos, len(r.concat))
+	}
+	return r.concat[pos], nil
+}
+
+// Locate maps a global position to (contig name, contig-relative
+// 0-based position). Positions inside an inter-contig spacer return an
+// error.
+func (r *Reference) Locate(pos int) (string, int, error) {
+	if pos < 0 || pos >= len(r.concat) {
+		return "", 0, fmt.Errorf("genome: position %d outside reference of length %d", pos, len(r.concat))
+	}
+	// Binary search for the last contig with Offset <= pos.
+	i := sort.Search(len(r.contigs), func(i int) bool { return r.contigs[i].Offset > pos }) - 1
+	if i < 0 {
+		return "", 0, fmt.Errorf("genome: position %d precedes the first contig", pos)
+	}
+	c := r.contigs[i]
+	if pos-c.Offset >= len(c.Seq) {
+		return "", 0, fmt.Errorf("genome: position %d falls in the spacer after contig %q", pos, c.Name)
+	}
+	return c.Name, pos - c.Offset, nil
+}
+
+// GlobalPos maps (contig name, contig-relative position) to a global
+// position.
+func (r *Reference) GlobalPos(contig string, pos int) (int, error) {
+	for _, c := range r.contigs {
+		if c.Name == contig {
+			if pos < 0 || pos >= len(c.Seq) {
+				return 0, fmt.Errorf("genome: position %d outside contig %q of length %d", pos, contig, len(c.Seq))
+			}
+			return c.Offset + pos, nil
+		}
+	}
+	return 0, fmt.Errorf("genome: unknown contig %q", contig)
+}
+
+// Window returns the reference slice [start, start+length) clipped to
+// the reference bounds; the returned start is the clipped start.
+func (r *Reference) Window(start, length int) (dna.Seq, int) {
+	end := start + length
+	if start < 0 {
+		start = 0
+	}
+	if end > len(r.concat) {
+		end = len(r.concat)
+	}
+	if start >= end {
+		return nil, start
+	}
+	return r.concat[start:end], start
+}

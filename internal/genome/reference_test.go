@@ -1,0 +1,146 @@
+package genome
+
+import (
+	"strings"
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fasta"
+)
+
+func refFixture(t *testing.T) *Reference {
+	t.Helper()
+	r, err := NewReference([]*fasta.Record{
+		{Name: "chr1", Seq: dna.MustParseSeq("ACGTACGT")},
+		{Name: "chr2", Seq: dna.MustParseSeq("TTTT")},
+		{Name: "chr3", Seq: dna.MustParseSeq("GGCCGG")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewReferenceValidation(t *testing.T) {
+	if _, err := NewReference(nil); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := NewReference([]*fasta.Record{{Name: "", Seq: dna.MustParseSeq("A")}}); err == nil {
+		t.Error("empty contig name accepted")
+	}
+	if _, err := NewReference([]*fasta.Record{{Name: "x", Seq: nil}}); err == nil {
+		t.Error("empty contig accepted")
+	}
+	if _, err := NewReference([]*fasta.Record{
+		{Name: "x", Seq: dna.MustParseSeq("A")},
+		{Name: "x", Seq: dna.MustParseSeq("C")},
+	}); err == nil {
+		t.Error("duplicate contig accepted")
+	}
+}
+
+func TestReferenceConcat(t *testing.T) {
+	r := refFixture(t)
+	wantLen := 18 + 2*BoundarySpacer
+	if r.Len() != wantLen {
+		t.Errorf("Len = %d, want %d", r.Len(), wantLen)
+	}
+	spacer := strings.Repeat("N", BoundarySpacer)
+	want := "ACGTACGT" + spacer + "TTTT" + spacer + "GGCCGG"
+	if r.Seq().String() != want {
+		t.Errorf("concat = %q", r.Seq().String())
+	}
+	if len(r.Contigs()) != 3 || r.Contigs()[2].Offset != 12+2*BoundarySpacer {
+		t.Errorf("contigs wrong: %+v", r.Contigs())
+	}
+}
+
+func TestLocateAndGlobalPos(t *testing.T) {
+	r := refFixture(t)
+	o2 := 8 + BoundarySpacer
+	o3 := o2 + 4 + BoundarySpacer
+	cases := []struct {
+		global int
+		contig string
+		local  int
+	}{
+		{0, "chr1", 0},
+		{7, "chr1", 7},
+		{o2, "chr2", 0},
+		{o2 + 3, "chr2", 3},
+		{o3, "chr3", 0},
+		{o3 + 5, "chr3", 5},
+	}
+	for _, c := range cases {
+		name, local, err := r.Locate(c.global)
+		if err != nil || name != c.contig || local != c.local {
+			t.Errorf("Locate(%d) = %s:%d,%v want %s:%d", c.global, name, local, err, c.contig, c.local)
+		}
+		back, err := r.GlobalPos(c.contig, c.local)
+		if err != nil || back != c.global {
+			t.Errorf("GlobalPos(%s,%d) = %d,%v want %d", c.contig, c.local, back, err, c.global)
+		}
+	}
+	if _, _, err := r.Locate(-1); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, _, err := r.Locate(r.Len()); err == nil {
+		t.Error("past-end position accepted")
+	}
+	if _, _, err := r.Locate(8); err == nil {
+		t.Error("spacer position accepted")
+	}
+	if _, _, err := r.Locate(o2 + 4); err == nil {
+		t.Error("second spacer position accepted")
+	}
+	if _, err := r.GlobalPos("nope", 0); err == nil {
+		t.Error("unknown contig accepted")
+	}
+	if _, err := r.GlobalPos("chr2", 4); err == nil {
+		t.Error("past-contig-end accepted")
+	}
+}
+
+func TestBase(t *testing.T) {
+	r := refFixture(t)
+	b, err := r.Base(8 + BoundarySpacer)
+	if err != nil || b != dna.T {
+		t.Errorf("Base(first of chr2) = %v,%v want T", b, err)
+	}
+	// Spacer positions read as N.
+	b, err = r.Base(8)
+	if err != nil || b != dna.N {
+		t.Errorf("Base(spacer) = %v,%v want N", b, err)
+	}
+	if _, err := r.Base(r.Len()); err == nil {
+		t.Error("OOB base accepted")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	r := refFixture(t)
+	w, start := r.Window(6, 4)
+	if start != 6 || w.String() != "GTNN" {
+		t.Errorf("Window(6,4) = %q at %d", w.String(), start)
+	}
+	w, start = r.Window(-3, 5)
+	if start != 0 || w.String() != "AC" {
+		t.Errorf("Window(-3,5) = %q at %d", w.String(), start)
+	}
+	end := r.Len() - 2
+	w, start = r.Window(end, 10)
+	if start != end || w.String() != "GG" {
+		t.Errorf("Window(end,10) = %q at %d", w.String(), start)
+	}
+	w, _ = r.Window(r.Len()+10, 5)
+	if w != nil {
+		t.Errorf("Window past end = %q", w.String())
+	}
+}
+
+func TestNewSingleContig(t *testing.T) {
+	r, err := NewSingleContig("x", dna.MustParseSeq("ACGT"))
+	if err != nil || r.Len() != 4 {
+		t.Errorf("NewSingleContig: %v, %v", r, err)
+	}
+}

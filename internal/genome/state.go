@@ -1,0 +1,129 @@
+package genome
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Stateful is implemented by accumulators that can serialize their
+// per-position state for transport between cluster nodes (the paper's
+// MPI genome-state communication). LoadState requires an accumulator of
+// the same mode and length; callers must quiesce writers around both
+// calls.
+type Stateful interface {
+	// State serializes the accumulator's per-position state.
+	State() ([]byte, error)
+	// LoadStateBytes overwrites the accumulator from State output.
+	LoadStateBytes(data []byte) error
+}
+
+// normState is the gob shape of a NORM accumulator.
+type normState struct {
+	Length int
+	Data   []float32
+}
+
+// State implements Stateful.
+func (a *normAcc) State() ([]byte, error) {
+	unlock := lockRange(a.locks, 0, a.length)
+	defer unlock()
+	return gobEncode(normState{Length: a.length, Data: a.data})
+}
+
+// LoadStateBytes implements Stateful.
+func (a *normAcc) LoadStateBytes(data []byte) error {
+	var st normState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if st.Length != a.length || len(st.Data) != len(a.data) {
+		return fmt.Errorf("genome: NORM state for length %d, have %d", st.Length, a.length)
+	}
+	unlock := lockRange(a.locks, 0, a.length)
+	defer unlock()
+	copy(a.data, st.Data)
+	return nil
+}
+
+// charDiscState is the gob shape of a CHARDISC accumulator.
+type charDiscState struct {
+	Length int
+	Total  []float32
+	Frac   []uint8
+}
+
+// State implements Stateful.
+func (a *charDiscAcc) State() ([]byte, error) {
+	unlock := lockRange(a.locks, 0, a.length)
+	defer unlock()
+	return gobEncode(charDiscState{Length: a.length, Total: a.total, Frac: a.frac})
+}
+
+// LoadStateBytes implements Stateful.
+func (a *charDiscAcc) LoadStateBytes(data []byte) error {
+	var st charDiscState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if st.Length != a.length || len(st.Total) != len(a.total) || len(st.Frac) != len(a.frac) {
+		return fmt.Errorf("genome: CHARDISC state for length %d, have %d", st.Length, a.length)
+	}
+	unlock := lockRange(a.locks, 0, a.length)
+	defer unlock()
+	copy(a.total, st.Total)
+	copy(a.frac, st.Frac)
+	return nil
+}
+
+// centDiscState is the gob shape of a CENTDISC accumulator. Codebook
+// bytes travel directly — both ends share the deterministic default
+// codebook, the property the paper's table-lookup reduction relies on.
+type centDiscState struct {
+	Length int
+	Total  []float32
+	Code   []uint8
+}
+
+// State implements Stateful.
+func (a *centDiscAcc) State() ([]byte, error) {
+	unlock := lockRange(a.locks, 0, a.length)
+	defer unlock()
+	return gobEncode(centDiscState{Length: a.length, Total: a.total, Code: a.code})
+}
+
+// LoadStateBytes implements Stateful.
+func (a *centDiscAcc) LoadStateBytes(data []byte) error {
+	var st centDiscState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if st.Length != a.length || len(st.Total) != len(a.total) || len(st.Code) != len(a.code) {
+		return fmt.Errorf("genome: CENTDISC state for length %d, have %d", st.Length, a.length)
+	}
+	unlock := lockRange(a.locks, 0, a.length)
+	defer unlock()
+	copy(a.total, st.Total)
+	copy(a.code, st.Code)
+	return nil
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("genome: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("genome: decode state: %w", err)
+	}
+	return nil
+}
+
+// CloneEmpty returns a fresh accumulator with the same mode and length.
+func CloneEmpty(a Accumulator) (Accumulator, error) {
+	return New(a.Mode(), a.Len())
+}

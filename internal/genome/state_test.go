@@ -1,0 +1,59 @@
+package genome
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStateRoundTripAllModes(t *testing.T) {
+	for _, m := range allModes() {
+		a, err := New(m, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.AddRange(10, []Vec{{0.7, 0.3, 0, 0, 0}, {0, 0, 1, 0, 0}}, 2)
+		st, ok := a.(Stateful)
+		if !ok {
+			t.Fatalf("%v does not implement Stateful", m)
+		}
+		data, err := st.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CloneEmpty(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.(Stateful).LoadStateBytes(data); err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos < 300; pos++ {
+			va, vb := a.Vector(pos), b.Vector(pos)
+			for k := range va {
+				if math.Abs(va[k]-vb[k]) > 1e-9 {
+					t.Fatalf("%v pos %d ch %d: %v vs %v", m, pos, k, va[k], vb[k])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadStateBytesRejectsMismatch(t *testing.T) {
+	a, _ := New(Norm, 10)
+	b, _ := New(Norm, 20)
+	st, _ := a.(Stateful)
+	data, err := st.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.(Stateful).LoadStateBytes(data); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	c, _ := New(CharDisc, 10)
+	if err := c.(Stateful).LoadStateBytes(data); err == nil {
+		t.Error("mode mismatch accepted")
+	}
+	if err := b.(Stateful).LoadStateBytes([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

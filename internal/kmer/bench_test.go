@@ -1,0 +1,46 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnumap/internal/dna"
+)
+
+func benchGenome(b *testing.B, n int) dna.Seq {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	g := make(dna.Seq, n)
+	for i := range g {
+		g[i] = dna.Code(rng.Intn(4))
+	}
+	return g
+}
+
+func BenchmarkIndexBuild1M(b *testing.B) {
+	g := benchGenome(b, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(g, DefaultK); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(g))*float64(b.N)/b.Elapsed().Seconds(), "bases/s")
+}
+
+func BenchmarkCandidates62(b *testing.B) {
+	g := benchGenome(b, 1_000_000)
+	idx, err := New(g, DefaultK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	read := g[500_000:500_062].Clone()
+	read[31] = dna.Code((int(read[31]) + 1) % 4)
+	opts := CandidateOptions{MaxCandidates: 8, MinVotes: 2, MaxBucket: 1024, Slack: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := idx.Candidates(read, opts); len(got) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package kmer implements the genomic k-mer hash index GNUMAP-SNP uses
+// to find putative mapping regions (paper §V, step 1; default k = 10).
+//
+// The index is built over a reference sequence with a two-pass
+// counting-sort layout: a flat offset table of 4^k buckets pointing into
+// one shared position array. For the default k = 10 the offset table has
+// ~1M entries and construction is a single O(L) scan, which is what
+// makes indexing a full chromosome practical. Buckets larger than a
+// configurable threshold (repeat k-mers) can be masked out at query
+// time so a single microsatellite does not flood the candidate list.
+package kmer
+
+import (
+	"fmt"
+	"sort"
+
+	"gnumap/internal/dna"
+)
+
+// DefaultK is the paper's default mer size.
+const DefaultK = 10
+
+// maxDirectK bounds the direct-addressed offset table at 4^14 entries
+// (~1 GiB of int32 would be 4^15; 4^14 = 268M entries is already the
+// practical ceiling, and the mapper never needs more).
+const maxDirectK = 14
+
+// Index is an immutable k-mer position index over one reference
+// sequence. It is safe for concurrent lookups.
+type Index struct {
+	k int
+	// offsets has 4^k+1 entries; bucket m occupies
+	// positions[offsets[m]:offsets[m+1]].
+	offsets   []int32
+	positions []int32
+	seqLen    int
+}
+
+// New builds an index of every k-mer in seq. K-mers containing an
+// ambiguous base are not indexed (the mapper re-seeds around them).
+func New(seq dna.Seq, k int) (*Index, error) {
+	if k <= 0 || k > maxDirectK {
+		return nil, fmt.Errorf("kmer: k=%d out of range [1,%d]", k, maxDirectK)
+	}
+	if len(seq) > 1<<31-1 {
+		return nil, fmt.Errorf("kmer: sequence length %d exceeds int32 positions", len(seq))
+	}
+	nBuckets := 1 << (2 * uint(k))
+	offsets := make([]int32, nBuckets+1)
+
+	// Pass 1: bucket counts.
+	forEachKmer(seq, k, func(m dna.Kmer, pos int32) {
+		offsets[m+1]++
+	})
+	// Prefix-sum into offsets.
+	for i := 1; i <= nBuckets; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	positions := make([]int32, offsets[nBuckets])
+
+	// Pass 2: fill. next tracks the write cursor per bucket.
+	next := make([]int32, nBuckets)
+	copy(next, offsets[:nBuckets])
+	forEachKmer(seq, k, func(m dna.Kmer, pos int32) {
+		positions[next[m]] = pos
+		next[m]++
+	})
+	return &Index{k: k, offsets: offsets, positions: positions, seqLen: len(seq)}, nil
+}
+
+// forEachKmer calls fn for every packable k-mer window in seq, using a
+// rolling pack that restarts after ambiguous bases.
+func forEachKmer(seq dna.Seq, k int, fn func(m dna.Kmer, pos int32)) {
+	if len(seq) < k {
+		return
+	}
+	var m dna.Kmer
+	valid := 0 // number of consecutive concrete bases ending at i
+	mask := dna.Kmer(1)<<(2*uint(k)) - 1
+	for i := 0; i < len(seq); i++ {
+		c := seq[i]
+		if !c.IsConcrete() {
+			valid = 0
+			m = 0
+			continue
+		}
+		m = (m<<2 | dna.Kmer(c)) & mask
+		valid++
+		if valid >= k {
+			fn(m, int32(i-k+1))
+		}
+	}
+}
+
+// K returns the indexed mer size.
+func (ix *Index) K() int { return ix.k }
+
+// SeqLen returns the length of the indexed sequence.
+func (ix *Index) SeqLen() int { return ix.seqLen }
+
+// Lookup returns the sorted start positions of the packed k-mer. The
+// returned slice aliases the index; callers must not mutate it.
+func (ix *Index) Lookup(m dna.Kmer) []int32 {
+	if int(m) >= len(ix.offsets)-1 {
+		return nil
+	}
+	return ix.positions[ix.offsets[m]:ix.offsets[m+1]]
+}
+
+// BucketSize returns the number of occurrences of the packed k-mer.
+func (ix *Index) BucketSize(m dna.Kmer) int { return len(ix.Lookup(m)) }
+
+// MemoryBytes reports the approximate heap footprint of the index,
+// used by the Table II memory accounting.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.offsets))*4 + int64(len(ix.positions))*4
+}
+
+// Candidate is a putative mapping region: the genome offset at which the
+// read would start, and the number of seed k-mers voting for it.
+type Candidate struct {
+	Start int32
+	Votes int32
+}
+
+// CandidateOptions tunes candidate-region generation.
+type CandidateOptions struct {
+	// Stride is the spacing between sampled seed offsets within the
+	// read; 1 samples every offset. Larger strides trade sensitivity
+	// for speed. Zero means 1.
+	Stride int
+	// MaxBucket masks k-mers occurring more often than this in the
+	// reference (repeat masking). Zero means no masking.
+	MaxBucket int
+	// MaxCandidates caps the number of returned regions, keeping the
+	// highest-voted. Zero means no cap.
+	MaxCandidates int
+	// MinVotes drops regions with fewer seed votes. Zero means 1.
+	MinVotes int
+	// Slack merges candidate starts within this many bases of each
+	// other into one region (indels shift the implied start). Zero
+	// means exact-diagonal voting.
+	Slack int
+}
+
+// Candidates seeds every (strided) k-mer of the read into the index and
+// votes on implied read start positions ("diagonals"). It returns
+// candidates sorted by descending votes, ties by ascending start.
+func (ix *Index) Candidates(read dna.Seq, opt CandidateOptions) []Candidate {
+	stride := opt.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	minVotes := opt.MinVotes
+	if minVotes <= 0 {
+		minVotes = 1
+	}
+	votes := make(map[int32]int32)
+	for off := 0; off+ix.k <= len(read); off += stride {
+		m, ok := dna.PackKmer(read, off, ix.k)
+		if !ok {
+			continue
+		}
+		hits := ix.Lookup(m)
+		if opt.MaxBucket > 0 && len(hits) > opt.MaxBucket {
+			continue
+		}
+		for _, p := range hits {
+			start := p - int32(off)
+			if opt.Slack > 0 {
+				// Snap the diagonal to a grid so small indel shifts
+				// coalesce into the same candidate region.
+				start -= start % int32(opt.Slack+1)
+			}
+			if start < 0 {
+				start = 0
+			}
+			votes[start]++
+		}
+	}
+	cands := make([]Candidate, 0, len(votes))
+	for start, v := range votes {
+		if int(v) >= minVotes {
+			cands = append(cands, Candidate{Start: start, Votes: v})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Votes != cands[j].Votes {
+			return cands[i].Votes > cands[j].Votes
+		}
+		return cands[i].Start < cands[j].Start
+	})
+	if opt.MaxCandidates > 0 && len(cands) > opt.MaxCandidates {
+		cands = cands[:opt.MaxCandidates]
+	}
+	return cands
+}

@@ -1,0 +1,90 @@
+package phmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/pwm"
+)
+
+// benchInputs builds a paper-sized alignment problem: a 62-bp read
+// against a padded 78-bp window.
+func benchInputs(b *testing.B) (*Matrix62, dna.Seq) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	window := make(dna.Seq, 78)
+	for i := range window {
+		window[i] = dna.Code(rng.Intn(4))
+	}
+	read := window[8:70].Clone()
+	read[30] = dna.Code((int(read[30]) + 1) % 4)
+	p, err := pwm.FromSeqUniformError(read, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Matrix62{p}, window
+}
+
+// Matrix62 wraps the PWM to keep the helper signature readable.
+type Matrix62 struct{ *pwm.Matrix }
+
+func BenchmarkAlignSemiGlobal62(b *testing.B) {
+	p, window := benchInputs(b)
+	a, err := NewAligner(DefaultParams(), SemiGlobal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Align(p.Matrix, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlignGlobal62(b *testing.B) {
+	p, window := benchInputs(b)
+	a, err := NewAligner(DefaultParams(), Global)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Align(p.Matrix, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViterbi62(b *testing.B) {
+	p, window := benchInputs(b)
+	a, err := NewAligner(DefaultParams(), SemiGlobal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Viterbi(p.Matrix, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContributions62(b *testing.B) {
+	p, window := benchInputs(b)
+	a, err := NewAligner(DefaultParams(), SemiGlobal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := a.Align(p.Matrix, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 1; j <= res.M; j++ {
+			res.Contribution(j, ByCall)
+		}
+	}
+}

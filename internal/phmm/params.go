@@ -1,0 +1,156 @@
+// Package phmm implements the probabilistic Pair-Hidden Markov Model at
+// the core of GNUMAP-SNP (paper §V-A/B and §VI Step 2).
+//
+// The model has three states — M (match), GX (read base aligned to a
+// genome gap, i.e. an insertion in the read) and GY (genome base aligned
+// to a read gap, i.e. a deletion in the read) — with transition
+// probabilities T_MM, T_MG, T_GM, T_GG, gap emission probability q, and
+// a match emission that is *quality weighted*: for read position i and
+// genome base y_j,
+//
+//	p*(i,j) = Σ_k r_ik · p(k | y_j)
+//
+// where r_ik is the PWM probability of base k at read position i
+// (internal/pwm). The forward-backward algorithm computes, for every
+// cell, the marginal posterior probability that the cell's pairing
+// appears in the (unknown) true alignment, marginalized over all
+// alignments — the property that lets GNUMAP-SNP use sub-optimal
+// alignments instead of committing to a single best one.
+//
+// The forward recursion in the paper's text contains an index typo
+// (it reads f_GX(i-1,j) and f_GY(i,j-1) as the M-state predecessors,
+// which double-consumes a symbol). We implement the standard recursion
+// from the paper's own citation (Durbin et al., Biological Sequence
+// Analysis, ch. 4), with all three M-state predecessors at (i-1, j-1).
+//
+// All dynamic programming is carried out with per-row rescaling so that
+// likelihoods of arbitrarily long reads neither underflow nor overflow;
+// log-likelihoods are exact up to float64 rounding.
+package phmm
+
+import (
+	"fmt"
+	"math"
+
+	"gnumap/internal/dna"
+)
+
+// Params holds the PHMM transition and emission parameters.
+type Params struct {
+	// TMM is the match→match transition probability. TMM + 2·TMG = 1.
+	TMM float64
+	// TMG is the match→gap transition probability (gap open), used for
+	// both gap states symmetrically, as in the paper.
+	TMG float64
+	// TGM is the gap→match transition probability (gap close).
+	TGM float64
+	// TGG is the gap→gap transition probability (gap extend).
+	// TGM + TGG = 1.
+	TGG float64
+	// Q is the emission probability of a nucleotide inside a gap state
+	// (the paper's q, usually the uniform 0.25).
+	Q float64
+	// Match[y][k] is the probability of observing read base k given
+	// genome base y. Rows must sum to 1. The default is
+	// transition/transversion aware: a transition (A<->G, C<->T) is
+	// more probable than either transversion.
+	Match [dna.NumBases][dna.NumBases]float64
+}
+
+// DefaultParams returns the parameter set used throughout the paper
+// reproduction: gap open 0.025, gap extend 0.3 (short-read indels are
+// rare and short), uniform gap emission, and a transition-biased match
+// matrix with 0.98 identity probability.
+func DefaultParams() Params {
+	p := Params{
+		TMM: 0.95,
+		TMG: 0.025,
+		TGM: 0.7,
+		TGG: 0.3,
+		Q:   0.25,
+	}
+	for y := 0; y < dna.NumBases; y++ {
+		for k := 0; k < dna.NumBases; k++ {
+			switch {
+			case y == k:
+				p.Match[y][k] = 0.98
+			case dna.IsTransition(dna.Code(y), dna.Code(k)):
+				p.Match[y][k] = 0.01
+			default:
+				p.Match[y][k] = 0.005
+			}
+		}
+	}
+	return p
+}
+
+// Validate checks stochasticity of the parameter set.
+func (p Params) Validate() error {
+	if p.TMM <= 0 || p.TMG <= 0 || p.TGM <= 0 || p.TGG <= 0 {
+		return fmt.Errorf("phmm: transition probabilities must be positive: %+v", p)
+	}
+	if d := math.Abs(p.TMM + 2*p.TMG - 1); d > 1e-9 {
+		return fmt.Errorf("phmm: TMM + 2·TMG = %g, want 1", p.TMM+2*p.TMG)
+	}
+	if d := math.Abs(p.TGM + p.TGG - 1); d > 1e-9 {
+		return fmt.Errorf("phmm: TGM + TGG = %g, want 1", p.TGM+p.TGG)
+	}
+	if p.Q <= 0 || p.Q > 1 {
+		return fmt.Errorf("phmm: gap emission q = %g out of (0,1]", p.Q)
+	}
+	for y := 0; y < dna.NumBases; y++ {
+		sum := 0.0
+		for k := 0; k < dna.NumBases; k++ {
+			if p.Match[y][k] < 0 {
+				return fmt.Errorf("phmm: Match[%v][%v] negative", dna.Code(y), dna.Code(k))
+			}
+			sum += p.Match[y][k]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("phmm: Match row %v sums to %g, want 1", dna.Code(y), sum)
+		}
+	}
+	return nil
+}
+
+// meanMatch returns, for each read base k, the emission probability
+// averaged over a uniform genome base — the emission used against an
+// ambiguous (N) genome position.
+func (p Params) meanMatch() [dna.NumBases]float64 {
+	var out [dna.NumBases]float64
+	for k := 0; k < dna.NumBases; k++ {
+		for y := 0; y < dna.NumBases; y++ {
+			out[k] += p.Match[y][k]
+		}
+		out[k] /= dna.NumBases
+	}
+	return out
+}
+
+// Mode selects the alignment boundary condition.
+type Mode int
+
+const (
+	// SemiGlobal aligns the whole read against any contiguous stretch
+	// of the window: leading and trailing genome bases are free. This
+	// is the practical read-mapping mode (and the zero-value default),
+	// used with a padded window so indels do not push the alignment
+	// off the window edge.
+	SemiGlobal Mode = iota
+	// Global is the paper's exact formulation: the read aligns to the
+	// whole candidate window, beginning at (1,1) and ending at (N,M).
+	// Use when the window length exactly matches the read span.
+	Global
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Global:
+		return "global"
+	case SemiGlobal:
+		return "semiglobal"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}

@@ -1,0 +1,193 @@
+package phmm
+
+import (
+	"fmt"
+	"math"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/pwm"
+)
+
+// The paper fixes its PHMM parameters; this file adds Baum-Welch
+// (EM) estimation of the transition probabilities and the match
+// emission matrix from example (read, window) pairs — the standard
+// extension from the paper's own citation (Durbin et al., ch. 4).
+// Training data comes from trusted alignments (e.g. confidently
+// uniquely mapped reads), and the fitted parameters feed back into
+// core.Config.PHMM.
+
+// TrainingPair is one example alignment problem.
+type TrainingPair struct {
+	// X is the read PWM, Y the genome window it maps to.
+	X *pwm.Matrix
+	Y dna.Seq
+}
+
+// TrainOptions tunes Fit.
+type TrainOptions struct {
+	// MaxIter bounds EM iterations (default 20).
+	MaxIter int
+	// Tol stops EM when the total log-likelihood improves by less
+	// than this (default 1e-3 nats).
+	Tol float64
+	// Pseudocount regularizes every expected count (default 1.0),
+	// keeping rare transitions (gap open on clean data) away from 0.
+	Pseudocount float64
+	// Mode selects the alignment boundary condition (default
+	// SemiGlobal, the mapping configuration).
+	Mode Mode
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 20
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-3
+	}
+	if o.Pseudocount == 0 {
+		o.Pseudocount = 1
+	}
+	return o
+}
+
+// TrainResult reports a fit.
+type TrainResult struct {
+	Params Params
+	// LogLik is the total log-likelihood of the training pairs under
+	// the fitted parameters; Iters the EM iterations used.
+	LogLik float64
+	Iters  int
+}
+
+// Fit estimates PHMM parameters from training pairs by Baum-Welch,
+// starting from init (use DefaultParams for a neutral start). The gap
+// emission q is held fixed (it is a modeling constant, not learnable
+// from marginals in this parameterization).
+func Fit(pairs []TrainingPair, init Params, opt TrainOptions) (*TrainResult, error) {
+	opt = opt.withDefaults()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("phmm: no training pairs")
+	}
+	if err := init.Validate(); err != nil {
+		return nil, err
+	}
+	cur := init
+	prevLL := math.Inf(-1)
+	res := &TrainResult{Params: cur}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		al, err := NewAligner(cur, opt.Mode)
+		if err != nil {
+			return nil, err
+		}
+		// Expected counts.
+		var cMM, cMG, cGM, cGG float64
+		var cMatch [dna.NumBases][dna.NumBases]float64
+		total := 0.0
+		used := 0
+		for _, pr := range pairs {
+			r, err := al.Align(pr.X, pr.Y)
+			if err == ErrNoAlignment {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			used++
+			total += r.LogLik
+			accumulateExpectations(r, pr, &cMM, &cMG, &cGM, &cGG, &cMatch)
+		}
+		if used == 0 {
+			return nil, fmt.Errorf("phmm: no training pair admits an alignment")
+		}
+		// M step with pseudocounts.
+		pc := opt.Pseudocount
+		mDen := cMM + 2*cMG + 3*pc
+		gDen := cGM + cGG + 2*pc
+		next := cur
+		next.TMM = (cMM + pc) / mDen
+		next.TMG = (cMG + pc) / mDen
+		// Numerical guard: TMM + 2·TMG must be exactly 1.
+		next.TMG = (1 - next.TMM) / 2
+		next.TGM = (cGM + pc) / gDen
+		next.TGG = 1 - next.TGM
+		for y := 0; y < dna.NumBases; y++ {
+			den := 0.0
+			for k := 0; k < dna.NumBases; k++ {
+				den += cMatch[y][k] + pc
+			}
+			for k := 0; k < dna.NumBases; k++ {
+				next.Match[y][k] = (cMatch[y][k] + pc) / den
+			}
+		}
+		if err := next.Validate(); err != nil {
+			return nil, fmt.Errorf("phmm: EM produced invalid parameters: %w", err)
+		}
+		res.Params = next
+		res.LogLik = total
+		res.Iters = iter
+		if total-prevLL < opt.Tol && iter > 1 {
+			break
+		}
+		prevLL = total
+		cur = next
+	}
+	return res, nil
+}
+
+// accumulateExpectations adds one pair's exact expected transition and
+// emission counts, using the standard edge posteriors
+//
+//	E[a(i,j) -> b(i',j')] = f_a(i,j) · T_ab · e_b(i',j') · b_b(i',j') / L
+//
+// evaluated in the Aligner's scaled space (row-scale bookkeeping:
+// crossing from row i to i+1 divides by scale[i+1]; within-row GY moves
+// carry no scale factor). Emission counts come from the match
+// posteriors directly.
+func accumulateExpectations(r *Result, pr TrainingPair,
+	cMM, cMG, cGM, cGG *float64, cMatch *[dna.NumBases][dna.NumBases]float64) {
+	a := r.a
+	p := a.params
+	n, m := r.N, r.M
+	w := m + 1
+	invL := 1 / r.lScaled
+	for i := 1; i <= n; i++ {
+		cur := i * w
+		next := (i + 1) * w
+		var invS float64
+		if i < n {
+			invS = 1 / a.scale[i+1]
+		}
+		for j := 1; j <= m; j++ {
+			// Emission counts from the match posterior.
+			pm := a.fM[cur+j] * a.bM[cur+j] * invL
+			if pm > 0 {
+				yj := pr.Y[j-1]
+				if yj.IsConcrete() {
+					row := pr.X.Row(i - 1)
+					for k := 0; k < dna.NumBases; k++ {
+						cMatch[yj][k] += pm * row[k]
+					}
+				}
+			}
+			// Transitions into row i+1 (consume a read base).
+			if i < n {
+				if j < m {
+					psNext := a.pstar[next+j+1]
+					toM := psNext * a.bM[next+j+1] * invS * invL
+					*cMM += a.fM[cur+j] * p.TMM * toM
+					*cGM += (a.fX[cur+j] + a.fY[cur+j]) * p.TGM * toM
+				}
+				toX := p.Q * a.bX[next+j] * invS * invL
+				*cMG += a.fM[cur+j] * p.TMG * toX
+				*cGG += a.fX[cur+j] * p.TGG * toX
+			}
+			// Within-row GY transitions (consume a genome base).
+			if j < m {
+				toY := p.Q * a.bY[cur+j+1] * invL
+				*cMG += a.fM[cur+j] * p.TMG * toY
+				*cGG += a.fY[cur+j] * p.TGG * toY
+			}
+		}
+	}
+}

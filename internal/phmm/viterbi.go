@@ -1,0 +1,226 @@
+package phmm
+
+import (
+	"fmt"
+	"math"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/pwm"
+)
+
+// Op is one step of a Viterbi alignment path.
+type Op uint8
+
+const (
+	// OpMatch pairs one read base with one genome base.
+	OpMatch Op = iota
+	// OpInsert consumes a read base against a genome gap (GX state).
+	OpInsert
+	// OpDelete consumes a genome base against a read gap (GY state).
+	OpDelete
+)
+
+// String returns the CIGAR-style letter of the op (M, I, D).
+func (o Op) String() string {
+	switch o {
+	case OpMatch:
+		return "M"
+	case OpInsert:
+		return "I"
+	case OpDelete:
+		return "D"
+	default:
+		return "?"
+	}
+}
+
+// Path is a single highest-probability alignment.
+type Path struct {
+	// LogProb is the natural-log probability of the path.
+	LogProb float64
+	// Start is the 1-based window column of the first consumed genome
+	// base (equals 1 in Global mode).
+	Start int
+	// End is the 1-based window column of the last consumed genome base.
+	End int
+	// Ops is the operation sequence from Start.
+	Ops []Op
+}
+
+// CIGAR renders the path as a run-length encoded CIGAR string.
+func (p *Path) CIGAR() string {
+	if len(p.Ops) == 0 {
+		return ""
+	}
+	out := ""
+	runOp := p.Ops[0]
+	runLen := 1
+	for _, op := range p.Ops[1:] {
+		if op == runOp {
+			runLen++
+			continue
+		}
+		out += fmt.Sprintf("%d%s", runLen, runOp)
+		runOp, runLen = op, 1
+	}
+	return out + fmt.Sprintf("%d%s", runLen, runOp)
+}
+
+// viterbiState identifies the DP state for traceback.
+type viterbiState uint8
+
+const (
+	stNone viterbiState = iota
+	stM
+	stX
+	stY
+	stBegin
+)
+
+// Viterbi computes the single most probable alignment of x against y
+// under the aligner's mode, in log space (no scaling needed). It shares
+// the Aligner's buffer discipline: one concurrent call per Aligner.
+//
+// Viterbi is used by the single-best-path ablation and by callers that
+// need a concrete CIGAR; the mapper itself uses the forward-backward
+// marginal (Align), which is the paper's core methodological point.
+func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
+	n, m := x.Len(), len(y)
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("phmm: empty read (%d) or window (%d)", n, m)
+	}
+	p := a.params
+	w := m + 1
+	size := (n + 1) * w
+	if cap(a.pstar) < size {
+		a.pstar = make([]float64, size)
+	}
+	a.pstar = a.pstar[:size]
+	a.fillEmissions(x, y, n, m)
+	vM := make([]float64, size)
+	vX := make([]float64, size)
+	vY := make([]float64, size)
+	ptrM := make([]viterbiState, size)
+	ptrX := make([]viterbiState, size)
+	ptrY := make([]viterbiState, size)
+	negInf := math.Inf(-1)
+	for i := range vM {
+		vM[i], vX[i], vY[i] = negInf, negInf, negInf
+	}
+	logTMM, logTMG := math.Log(p.TMM), math.Log(p.TMG)
+	logTGM, logTGG := math.Log(p.TGM), math.Log(p.TGG)
+	logQ := math.Log(p.Q)
+
+	if a.mode == Global {
+		vM[0] = 0 // virtual begin
+	}
+	for i := 1; i <= n; i++ {
+		prev, cur := (i-1)*w, i*w
+		for j := 1; j <= m; j++ {
+			lps := math.Log(a.pstar[cur+j])
+			// M state.
+			best, from := negInf, stNone
+			if v := logTMM + vM[prev+j-1]; v > best {
+				best, from = v, stM
+			}
+			if v := logTGM + vX[prev+j-1]; v > best {
+				best, from = v, stX
+			}
+			if v := logTGM + vY[prev+j-1]; v > best {
+				best, from = v, stY
+			}
+			if a.mode == SemiGlobal && i == 1 && best < 0 {
+				// Free entry with unit weight (log 0 = 0 contribution).
+				best, from = 0, stBegin
+			}
+			if from != stNone {
+				vM[cur+j] = lps + best
+				ptrM[cur+j] = from
+			}
+			// GX state.
+			best, from = negInf, stNone
+			if v := logTMG + vM[prev+j]; v > best {
+				best, from = v, stM
+			}
+			if v := logTGG + vX[prev+j]; v > best {
+				best, from = v, stX
+			}
+			if from != stNone {
+				vX[cur+j] = logQ + best
+				ptrX[cur+j] = from
+			}
+			// GY state.
+			best, from = negInf, stNone
+			if v := logTMG + vM[cur+j-1]; v > best {
+				best, from = v, stM
+			}
+			if v := logTGG + vY[cur+j-1]; v > best {
+				best, from = v, stY
+			}
+			if from != stNone {
+				vY[cur+j] = logQ + best
+				ptrY[cur+j] = from
+			}
+		}
+	}
+	// Pick the terminal cell.
+	last := n * w
+	bestScore, bestJ, bestState := negInf, 0, stNone
+	if a.mode == Global {
+		bestJ = m
+		for _, s := range []struct {
+			v  float64
+			st viterbiState
+		}{{vM[last+m], stM}, {vX[last+m], stX}, {vY[last+m], stY}} {
+			if s.v > bestScore {
+				bestScore, bestState = s.v, s.st
+			}
+		}
+	} else {
+		for j := 1; j <= m; j++ {
+			if vM[last+j] > bestScore {
+				bestScore, bestJ, bestState = vM[last+j], j, stM
+			}
+			if vX[last+j] > bestScore {
+				bestScore, bestJ, bestState = vX[last+j], j, stX
+			}
+		}
+	}
+	if bestState == stNone || math.IsInf(bestScore, -1) {
+		return nil, ErrNoAlignment
+	}
+	// Traceback.
+	var rev []Op
+	i, j, st := n, bestJ, bestState
+	for {
+		var from viterbiState
+		switch st {
+		case stM:
+			from = ptrM[i*w+j]
+			rev = append(rev, OpMatch)
+			i, j = i-1, j-1
+		case stX:
+			from = ptrX[i*w+j]
+			rev = append(rev, OpInsert)
+			i = i - 1
+		case stY:
+			from = ptrY[i*w+j]
+			rev = append(rev, OpDelete)
+			j = j - 1
+		}
+		if from == stBegin || (i == 0 && j == 0) {
+			break
+		}
+		if i < 0 || j < 0 {
+			return nil, fmt.Errorf("phmm: viterbi traceback escaped the matrix at (%d,%d)", i, j)
+		}
+		st = from
+	}
+	// Reverse ops.
+	ops := make([]Op, len(rev))
+	for k := range rev {
+		ops[k] = rev[len(rev)-1-k]
+	}
+	start := j + 1
+	return &Path{LogProb: bestScore, Start: start, End: bestJ, Ops: ops}, nil
+}

@@ -1,0 +1,129 @@
+// Package pwm builds position-weight matrices from sequencing reads and
+// their Phred quality scores.
+//
+// This is the entry point of the paper's probabilistic extension of the
+// Pair-HMM (§VI, Step 2): instead of treating each read position as a
+// single fixed nucleotide, GNUMAP-SNP represents it as a probability
+// vector r_i = (r_iA, r_iC, r_iG, r_iT) over the four bases, derived
+// from the sequencer's own error estimate. The PHMM's match-emission
+// term then becomes p*(i,j) = Σ_k r_ik · p_{k,y_j}, so low-quality
+// bases contribute weak, diffuse evidence while high-quality bases
+// contribute sharp evidence.
+package pwm
+
+import (
+	"fmt"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fastq"
+)
+
+// Matrix is a position-weight matrix: one probability vector over the
+// four concrete bases per read position. Rows always sum to 1.
+type Matrix struct {
+	rows [][dna.NumBases]float64
+	// calls retains the most-likely base per position (the sequencer's
+	// call), used where a single representative base is needed, e.g.
+	// when attributing posterior alignment mass to a nucleotide.
+	calls dna.Seq
+}
+
+// FromRead converts a read into a PWM. A called base b with error
+// probability e receives weight 1-e; the three alternatives split e
+// evenly (the standard uniform-error channel assumption). An ambiguous
+// N becomes the uniform vector regardless of its quality value.
+func FromRead(r *fastq.Read) (*Matrix, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Matrix{
+		rows:  make([][dna.NumBases]float64, len(r.Seq)),
+		calls: r.Seq.Clone(),
+	}
+	for i, b := range r.Seq {
+		if !b.IsConcrete() {
+			for k := 0; k < dna.NumBases; k++ {
+				m.rows[i][k] = 1.0 / dna.NumBases
+			}
+			continue
+		}
+		e := fastq.ErrorProb(r.Qual[i])
+		for k := 0; k < dna.NumBases; k++ {
+			if dna.Code(k) == b {
+				m.rows[i][k] = 1 - e
+			} else {
+				m.rows[i][k] = e / 3
+			}
+		}
+	}
+	return m, nil
+}
+
+// FromSeqUniformError builds a PWM from a bare sequence with a single
+// flat error probability for every position. Used by baselines and by
+// the ablation that disables quality weighting (e=0 reproduces the
+// classical one-hot emission).
+func FromSeqUniformError(s dna.Seq, e float64) (*Matrix, error) {
+	if e < 0 || e >= 1 {
+		return nil, fmt.Errorf("pwm: error probability %g out of [0,1)", e)
+	}
+	m := &Matrix{
+		rows:  make([][dna.NumBases]float64, len(s)),
+		calls: s.Clone(),
+	}
+	for i, b := range s {
+		if !b.IsConcrete() {
+			for k := 0; k < dna.NumBases; k++ {
+				m.rows[i][k] = 1.0 / dna.NumBases
+			}
+			continue
+		}
+		for k := 0; k < dna.NumBases; k++ {
+			if dna.Code(k) == b {
+				m.rows[i][k] = 1 - e
+			} else {
+				m.rows[i][k] = e / 3
+			}
+		}
+	}
+	return m, nil
+}
+
+// Len returns the number of positions.
+func (m *Matrix) Len() int { return len(m.rows) }
+
+// Row returns the probability vector at position i.
+func (m *Matrix) Row(i int) [dna.NumBases]float64 { return m.rows[i] }
+
+// Prob returns the probability of base k at position i.
+func (m *Matrix) Prob(i int, k dna.Code) float64 {
+	if !k.IsConcrete() {
+		return 0
+	}
+	return m.rows[i][k]
+}
+
+// Call returns the sequencer's called base at position i (possibly N).
+func (m *Matrix) Call(i int) dna.Code { return m.calls[i] }
+
+// Calls returns the full called sequence (aliased, do not mutate).
+func (m *Matrix) Calls() dna.Seq { return m.calls }
+
+// ReverseComplement returns the PWM of the reverse-complement read:
+// positions reversed and base weights swapped A<->T, C<->G. Mapping a
+// read to the minus strand uses this matrix against the forward genome.
+func (m *Matrix) ReverseComplement() *Matrix {
+	n := len(m.rows)
+	out := &Matrix{
+		rows:  make([][dna.NumBases]float64, n),
+		calls: m.calls.ReverseComplement(),
+	}
+	for i := 0; i < n; i++ {
+		src := m.rows[n-1-i]
+		out.rows[i][dna.A] = src[dna.T]
+		out.rows[i][dna.T] = src[dna.A]
+		out.rows[i][dna.C] = src[dna.G]
+		out.rows[i][dna.G] = src[dna.C]
+	}
+	return out
+}

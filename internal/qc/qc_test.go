@@ -1,0 +1,138 @@
+package qc
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fasta"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+)
+
+func TestSummarizeReads(t *testing.T) {
+	reads := []*fastq.Read{
+		{Name: "a", Seq: dna.MustParseSeq("ACGT"), Qual: []uint8{10, 20, 30, 40}},
+		{Name: "b", Seq: dna.MustParseSeq("GGCCNN"), Qual: []uint8{20, 20, 20, 20, 2, 2}},
+		{Name: "invalid", Seq: dna.MustParseSeq("AC"), Qual: []uint8{1}}, // skipped
+		nil, // skipped
+	}
+	st := SummarizeReads(reads)
+	if st.Count != 2 || st.Bases != 10 {
+		t.Fatalf("count/bases = %d/%d", st.Count, st.Bases)
+	}
+	if st.MinLen != 4 || st.MaxLen != 6 || st.MeanLen != 5 {
+		t.Errorf("lengths: %d/%d/%v", st.MinLen, st.MaxLen, st.MeanLen)
+	}
+	// GC: bases ACGT GGCC (N excluded): G=3, C=3 of 8 concrete -> 0.75.
+	if math.Abs(st.GC-0.75) > 1e-12 {
+		t.Errorf("GC = %v", st.GC)
+	}
+	if st.BaseCount[dna.N] != 2 {
+		t.Errorf("N count = %d", st.BaseCount[dna.N])
+	}
+	wantMeanQ := float64(10+20+30+40+20+20+20+20+2+2) / 10
+	if math.Abs(st.MeanQuality-wantMeanQ) > 1e-9 {
+		t.Errorf("mean quality = %v, want %v", st.MeanQuality, wantMeanQ)
+	}
+	if st.QualityHist[20] != 5 {
+		t.Errorf("hist[20] = %d", st.QualityHist[20])
+	}
+	var buf bytes.Buffer
+	if err := st.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reads:        2") {
+		t.Errorf("report wrong:\n%s", buf.String())
+	}
+}
+
+func TestSummarizeReadsEmpty(t *testing.T) {
+	st := SummarizeReads(nil)
+	if st.Count != 0 || st.MinLen != 0 || st.MeanQuality != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func mustRef(t *testing.T, seqs ...string) *genome.Reference {
+	t.Helper()
+	var recs []*fasta.Record
+	for i, s := range seqs {
+		recs = append(recs, &fasta.Record{
+			Name: fmt.Sprintf("c%d", i),
+			Seq:  dna.MustParseSeq(s),
+		})
+	}
+	ref, err := genome.NewReference(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func TestSummarizeReferenceStats(t *testing.T) {
+	ref := mustRef(t, "ACGTNN", "GGGGCC")
+	st := SummarizeReference(ref)
+	if st.Contigs != 2 || st.Length != 12 || st.NCount != 2 {
+		t.Errorf("ref stats: %+v", st)
+	}
+	// Concrete: ACGT + GGGGCC = 10, GC = 2+6 = 8 -> 0.8.
+	if math.Abs(st.GC-0.8) > 1e-12 {
+		t.Errorf("GC = %v", st.GC)
+	}
+	if SummarizeReference(nil).Contigs != 0 {
+		t.Error("nil reference not empty")
+	}
+}
+
+func TestSummarizeCoverage(t *testing.T) {
+	acc, err := genome.New(genome.Norm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positions 0..4 get depth 5, positions 5..6 get depth 1.
+	for i := 0; i < 5; i++ {
+		acc.AddRange(0, []genome.Vec{{1, 0, 0, 0, 0}, {1, 0, 0, 0, 0}, {1, 0, 0, 0, 0}, {1, 0, 0, 0, 0}, {1, 0, 0, 0, 0}}, 1)
+	}
+	acc.AddRange(5, []genome.Vec{{0, 1, 0, 0, 0}, {0, 1, 0, 0, 0}}, 1)
+	st := SummarizeCoverage(acc, 8)
+	if st.Positions != 10 {
+		t.Fatalf("positions = %d", st.Positions)
+	}
+	if math.Abs(st.MeanDepth-2.7) > 1e-9 {
+		t.Errorf("mean depth = %v, want 2.7", st.MeanDepth)
+	}
+	if st.MaxDepth != 5 {
+		t.Errorf("max depth = %v", st.MaxDepth)
+	}
+	if math.Abs(st.Breadth1-0.7) > 1e-9 || math.Abs(st.Breadth4-0.5) > 1e-9 || st.Breadth10 != 0 {
+		t.Errorf("breadth = %v/%v/%v", st.Breadth1, st.Breadth4, st.Breadth10)
+	}
+	if st.Hist[0] != 3 || st.Hist[1] != 2 || st.Hist[5] != 5 {
+		t.Errorf("hist = %v", st.Hist)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean depth:  2.70x") {
+		t.Errorf("report wrong:\n%s", buf.String())
+	}
+}
+
+func TestSummarizeCoverageOverflowBucket(t *testing.T) {
+	acc, _ := genome.New(genome.Norm, 2)
+	for i := 0; i < 100; i++ {
+		acc.AddRange(0, []genome.Vec{{1, 0, 0, 0, 0}}, 1)
+	}
+	st := SummarizeCoverage(acc, 8)
+	if st.Hist[8] != 1 {
+		t.Errorf("overflow bucket = %d", st.Hist[8])
+	}
+	if SummarizeCoverage(nil, 0).Positions != 0 {
+		t.Error("nil accumulator not empty")
+	}
+}

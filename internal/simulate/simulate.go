@@ -1,0 +1,449 @@
+// Package simulate generates the synthetic data the reproduction uses
+// in place of the paper's inputs: the hg19 X chromosome, the dbSNP
+// build-37 catalog, and MetaSim's Illumina read simulator (paper
+// §VII-A). It provides:
+//
+//   - reference genomes with controllable GC content and planted repeat
+//     structure (tandem and dispersed), since the paper emphasizes SNP
+//     calling inside repeat regions;
+//   - evenly spaced SNP catalogs with a transition bias, mirroring the
+//     paper's 14,501 evenly spaced dbSNP sites;
+//   - mutated individuals (monoploid or diploid with heterozygous
+//     sites);
+//   - Illumina-profile reads: position-dependent substitution error
+//     rising toward the 3' end, Phred qualities consistent with the
+//     injected error rates, both strands, optional low-rate indels.
+//
+// Everything is deterministic given the seeds in the configs.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/fastq"
+)
+
+// GenomeConfig controls reference generation.
+type GenomeConfig struct {
+	// Length is the reference length in bases.
+	Length int
+	// GC is the target GC fraction; 0 defaults to 0.41 (human-like).
+	GC float64
+	// TandemRepeatFraction is the fraction of the genome covered by
+	// short tandem repeats (microsatellite-like).
+	TandemRepeatFraction float64
+	// DispersedRepeatFraction is the fraction covered by copies of a
+	// few kilobase-scale segments (Alu/LINE-like), the regions where
+	// single-alignment mappers struggle.
+	DispersedRepeatFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Genome generates a reference per the config.
+func Genome(cfg GenomeConfig) (dna.Seq, error) {
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("simulate: genome length %d", cfg.Length)
+	}
+	gc := cfg.GC
+	if gc == 0 {
+		gc = 0.41
+	}
+	if gc < 0 || gc > 1 {
+		return nil, fmt.Errorf("simulate: GC fraction %g out of [0,1]", gc)
+	}
+	if cfg.TandemRepeatFraction < 0 || cfg.DispersedRepeatFraction < 0 ||
+		cfg.TandemRepeatFraction+cfg.DispersedRepeatFraction > 0.9 {
+		return nil, fmt.Errorf("simulate: repeat fractions (%g, %g) invalid",
+			cfg.TandemRepeatFraction, cfg.DispersedRepeatFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := make(dna.Seq, cfg.Length)
+	for i := range g {
+		g[i] = randBase(rng, gc)
+	}
+	// Tandem repeats: pick random loci, tile a 2-6bp unit for 30-200bp.
+	tandemBudget := int(float64(cfg.Length) * cfg.TandemRepeatFraction)
+	for tandemBudget > 0 && cfg.Length > 16 {
+		unitLen := 2 + rng.Intn(5)
+		unit := make(dna.Seq, unitLen)
+		for i := range unit {
+			unit[i] = randBase(rng, gc)
+		}
+		span := 30 + rng.Intn(171)
+		if span > tandemBudget+30 {
+			span = tandemBudget + 30
+		}
+		start := rng.Intn(cfg.Length - span)
+		for i := 0; i < span; i++ {
+			g[start+i] = unit[i%unitLen]
+		}
+		tandemBudget -= span
+	}
+	// Dispersed repeats: generate a few master segments and paste
+	// slightly mutated copies around the genome.
+	dispersedBudget := int(float64(cfg.Length) * cfg.DispersedRepeatFraction)
+	if dispersedBudget > 0 {
+		segLen := 300
+		if segLen > cfg.Length/4 {
+			segLen = cfg.Length / 4
+		}
+		if segLen >= 10 {
+			master := make(dna.Seq, segLen)
+			for i := range master {
+				master[i] = randBase(rng, gc)
+			}
+			for dispersedBudget >= segLen {
+				start := rng.Intn(cfg.Length - segLen)
+				for i := 0; i < segLen; i++ {
+					b := master[i]
+					if rng.Float64() < 0.02 { // 2% divergence between copies
+						b = dna.Code((int(b) + 1 + rng.Intn(3)) % 4)
+					}
+					g[start+i] = b
+				}
+				dispersedBudget -= segLen
+			}
+		}
+	}
+	return g, nil
+}
+
+// randBase draws one base honouring the GC target.
+func randBase(rng *rand.Rand, gc float64) dna.Code {
+	if rng.Float64() < gc {
+		if rng.Intn(2) == 0 {
+			return dna.G
+		}
+		return dna.C
+	}
+	if rng.Intn(2) == 0 {
+		return dna.A
+	}
+	return dna.T
+}
+
+// SNP is one planted variant.
+type SNP struct {
+	// Pos is the 0-based reference position.
+	Pos int
+	// Ref is the reference allele.
+	Ref dna.Code
+	// Alt is the alternate allele.
+	Alt dna.Code
+	// Het marks the site heterozygous in a diploid individual: one
+	// haplotype carries Alt, the other keeps Ref.
+	Het bool
+}
+
+// CatalogConfig controls SNP catalog generation.
+type CatalogConfig struct {
+	// Count is the number of SNPs; they are evenly spaced as in the
+	// paper's simulation design.
+	Count int
+	// TransitionBias is the probability that the alternate allele is a
+	// transition rather than a transversion; 0 defaults to 2.0/3
+	// (the empirical ~2:1 Ti/Tv genome-wide ratio).
+	TransitionBias float64
+	// HetFraction is the fraction of sites made heterozygous; use 0
+	// for a monoploid individual.
+	HetFraction float64
+	// Seed drives allele and zygosity choices.
+	Seed int64
+}
+
+// Catalog plants Count evenly spaced SNPs on the reference.
+func Catalog(ref dna.Seq, cfg CatalogConfig) ([]SNP, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("simulate: catalog count %d", cfg.Count)
+	}
+	if cfg.Count > len(ref) {
+		return nil, fmt.Errorf("simulate: %d SNPs on a %d-base reference", cfg.Count, len(ref))
+	}
+	bias := cfg.TransitionBias
+	if bias == 0 {
+		bias = 2.0 / 3
+	}
+	if bias < 0 || bias > 1 {
+		return nil, fmt.Errorf("simulate: transition bias %g out of [0,1]", bias)
+	}
+	if cfg.HetFraction < 0 || cfg.HetFraction > 1 {
+		return nil, fmt.Errorf("simulate: het fraction %g out of [0,1]", cfg.HetFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spacing := float64(len(ref)) / float64(cfg.Count)
+	out := make([]SNP, 0, cfg.Count)
+	lastPos := -1
+	for i := 0; i < cfg.Count; i++ {
+		pos := int(spacing*float64(i) + spacing/2)
+		if pos <= lastPos {
+			pos = lastPos + 1
+		}
+		if pos >= len(ref) {
+			break
+		}
+		refBase := ref[pos]
+		// Skip onto the next concrete base if needed.
+		for !refBase.IsConcrete() && pos+1 < len(ref) {
+			pos++
+			refBase = ref[pos]
+		}
+		if !refBase.IsConcrete() {
+			continue
+		}
+		out = append(out, SNP{
+			Pos: pos,
+			Ref: refBase,
+			Alt: altAllele(rng, refBase, bias),
+			Het: rng.Float64() < cfg.HetFraction,
+		})
+		lastPos = pos
+	}
+	return out, nil
+}
+
+// altAllele draws an alternate allele with the given transition bias.
+func altAllele(rng *rand.Rand, ref dna.Code, bias float64) dna.Code {
+	if rng.Float64() < bias {
+		return transitionOf(ref)
+	}
+	// Two transversions per base; pick one.
+	var tv [2]dna.Code
+	n := 0
+	for k := dna.Code(0); k < dna.NumBases; k++ {
+		if k != ref && !dna.IsTransition(ref, k) {
+			tv[n] = k
+			n++
+		}
+	}
+	return tv[rng.Intn(n)]
+}
+
+// transitionOf returns the unique transition partner of a base.
+func transitionOf(b dna.Code) dna.Code {
+	switch b {
+	case dna.A:
+		return dna.G
+	case dna.G:
+		return dna.A
+	case dna.C:
+		return dna.T
+	default:
+		return dna.C
+	}
+}
+
+// Individual holds the genome(s) of a simulated individual.
+type Individual struct {
+	// HapA always carries every alternate allele.
+	HapA dna.Seq
+	// HapB carries alternate alleles only at homozygous sites; nil for
+	// a monoploid individual.
+	HapB dna.Seq
+}
+
+// Mutate applies a catalog to the reference. diploid selects whether a
+// second haplotype is produced (required if any catalog entry is Het).
+func Mutate(ref dna.Seq, catalog []SNP, diploid bool) (*Individual, error) {
+	hapA := ref.Clone()
+	var hapB dna.Seq
+	if diploid {
+		hapB = ref.Clone()
+	}
+	for _, s := range catalog {
+		if s.Pos < 0 || s.Pos >= len(ref) {
+			return nil, fmt.Errorf("simulate: SNP position %d outside reference", s.Pos)
+		}
+		if ref[s.Pos] != s.Ref {
+			return nil, fmt.Errorf("simulate: SNP at %d expects ref %v, genome has %v", s.Pos, s.Ref, ref[s.Pos])
+		}
+		if s.Alt == s.Ref {
+			return nil, fmt.Errorf("simulate: SNP at %d has identical alleles", s.Pos)
+		}
+		if s.Het && !diploid {
+			return nil, fmt.Errorf("simulate: heterozygous SNP at %d in monoploid individual", s.Pos)
+		}
+		hapA[s.Pos] = s.Alt
+		if diploid && !s.Het {
+			hapB[s.Pos] = s.Alt
+		}
+	}
+	return &Individual{HapA: hapA, HapB: hapB}, nil
+}
+
+// ReadConfig controls read simulation.
+type ReadConfig struct {
+	// Length is the read length (the paper simulates 62 bp).
+	Length int
+	// Coverage is the mean fold-coverage of the genome (paper: ~12x).
+	Coverage float64
+	// ErrStart and ErrEnd set the per-base substitution error rate at
+	// the 5' and 3' read ends; the rate interpolates linearly between
+	// them (Illumina's characteristic 3'-degradation). Defaults
+	// 0.002 → 0.02 when both are zero.
+	ErrStart, ErrEnd float64
+	// IndelRate is the per-base probability of opening a 1-base indel
+	// (Illumina indels are rare; default 0).
+	IndelRate float64
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Reads simulates shotgun reads from the individual. For a diploid
+// individual each read draws its haplotype uniformly. Reads come from
+// both strands; minus-strand reads are reverse-complemented into read
+// orientation, exactly as a sequencer would deliver them.
+func Reads(ind *Individual, cfg ReadConfig) ([]*fastq.Read, error) {
+	if ind == nil || len(ind.HapA) == 0 {
+		return nil, fmt.Errorf("simulate: empty individual")
+	}
+	if cfg.Length <= 0 || cfg.Length > len(ind.HapA) {
+		return nil, fmt.Errorf("simulate: read length %d on a %d-base genome", cfg.Length, len(ind.HapA))
+	}
+	if cfg.Coverage <= 0 {
+		return nil, fmt.Errorf("simulate: coverage %g", cfg.Coverage)
+	}
+	errStart, errEnd := cfg.ErrStart, cfg.ErrEnd
+	if errStart == 0 && errEnd == 0 {
+		errStart, errEnd = 0.002, 0.02
+	}
+	if errStart < 0 || errEnd < 0 || errStart >= 1 || errEnd >= 1 {
+		return nil, fmt.Errorf("simulate: error rates (%g, %g) invalid", errStart, errEnd)
+	}
+	if cfg.IndelRate < 0 || cfg.IndelRate > 0.1 {
+		return nil, fmt.Errorf("simulate: indel rate %g invalid", cfg.IndelRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nReads := int(cfg.Coverage * float64(len(ind.HapA)) / float64(cfg.Length))
+	if nReads < 1 {
+		nReads = 1
+	}
+	reads := make([]*fastq.Read, 0, nReads)
+	for r := 0; r < nReads; r++ {
+		hap := ind.HapA
+		hapName := "A"
+		if ind.HapB != nil && rng.Intn(2) == 1 {
+			hap = ind.HapB
+			hapName = "B"
+		}
+		// Sample a template slightly longer than the read so indels
+		// do not run off the end.
+		tmplLen := cfg.Length + 8
+		if tmplLen > len(hap) {
+			tmplLen = len(hap)
+		}
+		start := rng.Intn(len(hap) - tmplLen + 1)
+		tmpl := hap[start : start+tmplLen]
+		minus := rng.Intn(2) == 1
+		if minus {
+			tmpl = tmpl.ReverseComplement()
+		}
+		seq, qual := sequenceTemplate(rng, tmpl, cfg.Length, errStart, errEnd, cfg.IndelRate)
+		strand := "+"
+		if minus {
+			strand = "-"
+		}
+		reads = append(reads, &fastq.Read{
+			Name: fmt.Sprintf("sim_%d_pos%d_%s_hap%s", r, start, strand, hapName),
+			Seq:  seq,
+			Qual: qual,
+		})
+	}
+	return reads, nil
+}
+
+// sequenceTemplate applies the error model to a template, producing
+// exactly length bases with matching qualities.
+func sequenceTemplate(rng *rand.Rand, tmpl dna.Seq, length int, errStart, errEnd, indelRate float64) (dna.Seq, []uint8) {
+	seq := make(dna.Seq, 0, length)
+	qual := make([]uint8, 0, length)
+	ti := 0
+	for len(seq) < length {
+		i := len(seq)
+		frac := 0.0
+		if length > 1 {
+			frac = float64(i) / float64(length-1)
+		}
+		e := errStart + (errEnd-errStart)*frac
+		if indelRate > 0 && rng.Float64() < indelRate {
+			if rng.Intn(2) == 0 {
+				// Insertion: emit a random base, do not consume template.
+				seq = append(seq, dna.Code(rng.Intn(4)))
+				qual = append(qual, jitteredQuality(rng, e))
+				continue
+			}
+			// Deletion: skip one template base.
+			ti++
+		}
+		var b dna.Code
+		if ti < len(tmpl) {
+			b = tmpl[ti]
+			ti++
+		} else {
+			b = dna.Code(rng.Intn(4)) // ran off template: random fill
+		}
+		if !b.IsConcrete() {
+			b = dna.Code(rng.Intn(4))
+		}
+		if rng.Float64() < e {
+			b = dna.Code((int(b) + 1 + rng.Intn(3)) % 4)
+		}
+		seq = append(seq, b)
+		qual = append(qual, jitteredQuality(rng, e))
+	}
+	return seq, qual
+}
+
+// jitteredQuality converts an error rate to a Phred score with ±2 of
+// integer jitter, as real basecallers scatter around the true rate.
+func jitteredQuality(rng *rand.Rand, e float64) uint8 {
+	q := float64(fastq.PhredFromErrorProb(e)) + float64(rng.Intn(5)-2)
+	q = math.Max(2, math.Min(q, fastq.MaxQuality))
+	return uint8(q)
+}
+
+// CatalogAt plants SNPs at explicit reference positions (for
+// hand-constructed scenarios such as a SNP inside a repeat copy).
+// Alleles are drawn with the same transition bias as Catalog; positions
+// must be strictly increasing, in range, and on concrete bases.
+func CatalogAt(ref dna.Seq, positions []int, cfg CatalogConfig) ([]SNP, error) {
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("simulate: no positions")
+	}
+	bias := cfg.TransitionBias
+	if bias == 0 {
+		bias = 2.0 / 3
+	}
+	if bias < 0 || bias > 1 {
+		return nil, fmt.Errorf("simulate: transition bias %g out of [0,1]", bias)
+	}
+	if cfg.HetFraction < 0 || cfg.HetFraction > 1 {
+		return nil, fmt.Errorf("simulate: het fraction %g out of [0,1]", cfg.HetFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]SNP, 0, len(positions))
+	last := -1
+	for _, pos := range positions {
+		if pos <= last {
+			return nil, fmt.Errorf("simulate: positions not strictly increasing at %d", pos)
+		}
+		last = pos
+		if pos < 0 || pos >= len(ref) {
+			return nil, fmt.Errorf("simulate: position %d outside reference of length %d", pos, len(ref))
+		}
+		refBase := ref[pos]
+		if !refBase.IsConcrete() {
+			return nil, fmt.Errorf("simulate: position %d is an ambiguous base", pos)
+		}
+		out = append(out, SNP{
+			Pos: pos,
+			Ref: refBase,
+			Alt: altAllele(rng, refBase, bias),
+			Het: rng.Float64() < cfg.HetFraction,
+		})
+	}
+	return out, nil
+}

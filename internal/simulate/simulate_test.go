@@ -1,0 +1,411 @@
+package simulate
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gnumap/internal/dna"
+)
+
+func TestGenomeValidation(t *testing.T) {
+	if _, err := Genome(GenomeConfig{Length: 0}); err == nil {
+		t.Error("length 0 accepted")
+	}
+	if _, err := Genome(GenomeConfig{Length: 100, GC: 1.5}); err == nil {
+		t.Error("GC > 1 accepted")
+	}
+	if _, err := Genome(GenomeConfig{Length: 100, TandemRepeatFraction: 0.8, DispersedRepeatFraction: 0.5}); err == nil {
+		t.Error("repeat fractions > 0.9 accepted")
+	}
+}
+
+func TestGenomeDeterministic(t *testing.T) {
+	cfg := GenomeConfig{Length: 5000, Seed: 7, TandemRepeatFraction: 0.05, DispersedRepeatFraction: 0.1}
+	a, err := Genome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different genomes")
+	}
+	c, err := Genome(GenomeConfig{Length: 5000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical genomes")
+	}
+}
+
+func TestGenomeGCContent(t *testing.T) {
+	for _, gc := range []float64{0.3, 0.41, 0.6} {
+		g, err := Genome(GenomeConfig{Length: 200000, GC: gc, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.GCContent(); math.Abs(got-gc) > 0.01 {
+			t.Errorf("GC = %v, want %v", got, gc)
+		}
+	}
+}
+
+func TestGenomeHasRepeats(t *testing.T) {
+	g, err := Genome(GenomeConfig{Length: 50000, Seed: 5, DispersedRepeatFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count 20-mers occurring >= 5 times; dispersed repeats guarantee
+	// some, a random genome of this size essentially none.
+	counts := map[string]int{}
+	for i := 0; i+20 <= len(g); i += 7 {
+		counts[g[i:i+20].String()]++
+	}
+	repeats := 0
+	for _, c := range counts {
+		if c >= 5 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Error("no repeated 20-mers in a 20% dispersed-repeat genome")
+	}
+	plain, _ := Genome(GenomeConfig{Length: 50000, Seed: 5})
+	counts = map[string]int{}
+	for i := 0; i+20 <= len(plain); i += 7 {
+		counts[plain[i:i+20].String()]++
+	}
+	for k, c := range counts {
+		if c >= 5 {
+			t.Errorf("random genome has high-frequency 20-mer %q ×%d", k, c)
+		}
+	}
+}
+
+func TestCatalogSpacingAndContent(t *testing.T) {
+	g, err := Genome(GenomeConfig{Length: 100000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Catalog(g, CatalogConfig{Count: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 100 {
+		t.Fatalf("catalog size %d, want 100", len(cat))
+	}
+	for i, s := range cat {
+		if g[s.Pos] != s.Ref {
+			t.Fatalf("SNP %d: catalog ref %v but genome has %v", i, s.Ref, g[s.Pos])
+		}
+		if s.Alt == s.Ref || !s.Alt.IsConcrete() {
+			t.Fatalf("SNP %d: bad alt %v", i, s.Alt)
+		}
+		if s.Het {
+			t.Fatalf("SNP %d: het in default (monoploid) catalog", i)
+		}
+		if i > 0 && s.Pos <= cat[i-1].Pos {
+			t.Fatalf("catalog not strictly increasing at %d", i)
+		}
+	}
+	// Spacing approximately even: every gap within 3x of the mean.
+	mean := float64(len(g)) / 100
+	for i := 1; i < len(cat); i++ {
+		gap := float64(cat[i].Pos - cat[i-1].Pos)
+		if gap > 3*mean {
+			t.Errorf("gap %v at %d far from mean %v", gap, i, mean)
+		}
+	}
+}
+
+func TestCatalogTransitionBias(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 200000, Seed: 1})
+	cat, err := Catalog(g, CatalogConfig{Count: 2000, TransitionBias: 2.0 / 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := 0
+	for _, s := range cat {
+		if dna.IsTransition(s.Ref, s.Alt) {
+			ti++
+		}
+	}
+	frac := float64(ti) / float64(len(cat))
+	if math.Abs(frac-2.0/3) > 0.04 {
+		t.Errorf("transition fraction = %v, want ~0.667", frac)
+	}
+}
+
+func TestCatalogHetFraction(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 100000, Seed: 1})
+	cat, err := Catalog(g, CatalogConfig{Count: 1000, HetFraction: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	het := 0
+	for _, s := range cat {
+		if s.Het {
+			het++
+		}
+	}
+	if het < 400 || het > 600 {
+		t.Errorf("het count = %d/1000, want ~500", het)
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 1000, Seed: 1})
+	if _, err := Catalog(g, CatalogConfig{Count: 0}); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := Catalog(g, CatalogConfig{Count: 2000}); err == nil {
+		t.Error("more SNPs than bases accepted")
+	}
+	if _, err := Catalog(g, CatalogConfig{Count: 10, TransitionBias: 2}); err == nil {
+		t.Error("bias > 1 accepted")
+	}
+	if _, err := Catalog(g, CatalogConfig{Count: 10, HetFraction: -1}); err == nil {
+		t.Error("negative het fraction accepted")
+	}
+}
+
+func TestMutateMonoploid(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 10000, Seed: 1})
+	cat, _ := Catalog(g, CatalogConfig{Count: 10, Seed: 2})
+	ind, err := Mutate(g, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind.HapB != nil {
+		t.Error("monoploid individual has a second haplotype")
+	}
+	diffs := 0
+	for i := range g {
+		if g[i] != ind.HapA[i] {
+			diffs++
+		}
+	}
+	if diffs != len(cat) {
+		t.Errorf("%d differences, want %d", diffs, len(cat))
+	}
+	for _, s := range cat {
+		if ind.HapA[s.Pos] != s.Alt {
+			t.Errorf("position %d not mutated", s.Pos)
+		}
+	}
+}
+
+func TestMutateDiploid(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 10000, Seed: 1})
+	cat, _ := Catalog(g, CatalogConfig{Count: 20, HetFraction: 0.5, Seed: 9})
+	ind, err := Mutate(g, cat, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cat {
+		if ind.HapA[s.Pos] != s.Alt {
+			t.Errorf("hapA at %d not mutated", s.Pos)
+		}
+		wantB := s.Alt
+		if s.Het {
+			wantB = s.Ref
+		}
+		if ind.HapB[s.Pos] != wantB {
+			t.Errorf("hapB at %d = %v, want %v (het=%v)", s.Pos, ind.HapB[s.Pos], wantB, s.Het)
+		}
+	}
+}
+
+func TestMutateValidation(t *testing.T) {
+	g := dna.MustParseSeq("ACGT")
+	if _, err := Mutate(g, []SNP{{Pos: 9, Ref: dna.A, Alt: dna.C}}, false); err == nil {
+		t.Error("OOB SNP accepted")
+	}
+	if _, err := Mutate(g, []SNP{{Pos: 0, Ref: dna.C, Alt: dna.G}}, false); err == nil {
+		t.Error("ref mismatch accepted")
+	}
+	if _, err := Mutate(g, []SNP{{Pos: 0, Ref: dna.A, Alt: dna.A}}, false); err == nil {
+		t.Error("identical alleles accepted")
+	}
+	if _, err := Mutate(g, []SNP{{Pos: 0, Ref: dna.A, Alt: dna.C, Het: true}}, false); err == nil {
+		t.Error("het SNP in monoploid accepted")
+	}
+}
+
+func TestReadsBasicProperties(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 20000, Seed: 1})
+	ind, _ := Mutate(g, nil, false)
+	cfg := ReadConfig{Length: 62, Coverage: 10, Seed: 3}
+	reads, err := Reads(ind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := int(cfg.Coverage * float64(len(g)) / float64(cfg.Length))
+	if len(reads) != wantN {
+		t.Errorf("%d reads, want %d", len(reads), wantN)
+	}
+	for _, r := range reads[:50] {
+		if len(r.Seq) != 62 || len(r.Qual) != 62 {
+			t.Fatalf("read %s has %d bases, %d quals", r.Name, len(r.Seq), len(r.Qual))
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Determinism.
+	again, _ := Reads(ind, cfg)
+	if again[7].Seq.String() != reads[7].Seq.String() {
+		t.Error("same seed produced different reads")
+	}
+}
+
+func TestReadsErrorRateMatchesProfile(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 50000, Seed: 2})
+	ind, _ := Mutate(g, nil, false)
+	cfg := ReadConfig{Length: 62, Coverage: 20, ErrStart: 0.002, ErrEnd: 0.03, Seed: 5}
+	reads, err := Reads(ind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure empirical mismatch rate in the first and last 10 read
+	// positions by realigning to the known origin (parse from name).
+	firstErr, lastErr, firstN, lastN := 0, 0, 0, 0
+	for _, r := range reads {
+		start, minus := parseName(t, r.Name)
+		tmpl := g[start : start+70]
+		if minus {
+			tmpl = tmpl.ReverseComplement()
+		}
+		for i := 0; i < 62; i++ {
+			if i < 10 {
+				firstN++
+				if r.Seq[i] != tmpl[i] {
+					firstErr++
+				}
+			}
+			if i >= 52 {
+				lastN++
+				if r.Seq[i] != tmpl[i] {
+					lastErr++
+				}
+			}
+		}
+	}
+	fRate := float64(firstErr) / float64(firstN)
+	lRate := float64(lastErr) / float64(lastN)
+	if fRate > 0.012 {
+		t.Errorf("5' error rate = %v, want ~0.004", fRate)
+	}
+	if lRate < 0.015 || lRate > 0.05 {
+		t.Errorf("3' error rate = %v, want ~0.028", lRate)
+	}
+	if lRate <= fRate {
+		t.Errorf("error profile not rising: %v -> %v", fRate, lRate)
+	}
+}
+
+func parseName(t *testing.T, name string) (start int, minus bool) {
+	t.Helper()
+	parts := strings.Split(name, "_")
+	if len(parts) != 5 || !strings.HasPrefix(parts[2], "pos") {
+		t.Fatalf("unparseable read name %q", name)
+	}
+	v, err := strconv.Atoi(parts[2][3:])
+	if err != nil {
+		t.Fatalf("unparseable position in %q: %v", name, err)
+	}
+	return v, parts[3] == "-"
+}
+
+func TestReadsDiploidUsesBothHaplotypes(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 5000, Seed: 3})
+	cat, _ := Catalog(g, CatalogConfig{Count: 5, HetFraction: 1, Seed: 4})
+	ind, _ := Mutate(g, cat, true)
+	reads, err := Reads(ind, ReadConfig{Length: 50, Coverage: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := 0, 0
+	for _, r := range reads {
+		if r.Name[len(r.Name)-1] == 'A' {
+			a++
+		} else {
+			b++
+		}
+	}
+	if a == 0 || b == 0 {
+		t.Errorf("haplotype draw skewed: A=%d B=%d", a, b)
+	}
+}
+
+func TestReadsIndels(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 10000, Seed: 3})
+	ind, _ := Mutate(g, nil, false)
+	reads, err := Reads(ind, ReadConfig{Length: 50, Coverage: 5, IndelRate: 0.01, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		if len(r.Seq) != 50 {
+			t.Fatalf("indel read has length %d", len(r.Seq))
+		}
+	}
+}
+
+func TestReadsValidation(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 100, Seed: 1})
+	ind, _ := Mutate(g, nil, false)
+	if _, err := Reads(nil, ReadConfig{Length: 10, Coverage: 1}); err == nil {
+		t.Error("nil individual accepted")
+	}
+	if _, err := Reads(ind, ReadConfig{Length: 0, Coverage: 1}); err == nil {
+		t.Error("length 0 accepted")
+	}
+	if _, err := Reads(ind, ReadConfig{Length: 200, Coverage: 1}); err == nil {
+		t.Error("read longer than genome accepted")
+	}
+	if _, err := Reads(ind, ReadConfig{Length: 10, Coverage: 0}); err == nil {
+		t.Error("coverage 0 accepted")
+	}
+	if _, err := Reads(ind, ReadConfig{Length: 10, Coverage: 1, ErrStart: 2}); err == nil {
+		t.Error("error rate >= 1 accepted")
+	}
+	if _, err := Reads(ind, ReadConfig{Length: 10, Coverage: 1, IndelRate: 0.5}); err == nil {
+		t.Error("huge indel rate accepted")
+	}
+}
+
+func TestCatalogAt(t *testing.T) {
+	g, _ := Genome(GenomeConfig{Length: 1000, Seed: 1})
+	cat, err := CatalogAt(g, []int{10, 500, 999}, CatalogConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 3 || cat[0].Pos != 10 || cat[2].Pos != 999 {
+		t.Fatalf("catalog = %+v", cat)
+	}
+	for _, s := range cat {
+		if s.Ref != g[s.Pos] || s.Alt == s.Ref {
+			t.Errorf("bad SNP %+v", s)
+		}
+	}
+	if _, err := CatalogAt(g, nil, CatalogConfig{}); err == nil {
+		t.Error("empty positions accepted")
+	}
+	if _, err := CatalogAt(g, []int{5, 5}, CatalogConfig{}); err == nil {
+		t.Error("non-increasing positions accepted")
+	}
+	if _, err := CatalogAt(g, []int{2000}, CatalogConfig{}); err == nil {
+		t.Error("OOB position accepted")
+	}
+	gn := g.Clone()
+	gn[7] = dna.N
+	if _, err := CatalogAt(gn, []int{7}, CatalogConfig{}); err == nil {
+		t.Error("N position accepted")
+	}
+}

@@ -1,0 +1,332 @@
+// Package snp turns accumulated per-position nucleotide probabilities
+// into SNP calls via the paper's likelihood-ratio framework (§VI Step
+// 3), and provides the evaluation harness (true/false positives against
+// a planted truth set) used by the Table I and Table III experiments,
+// plus a minimal VCF writer for interoperability.
+package snp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/genome"
+	"gnumap/internal/lrt"
+	"gnumap/internal/simulate"
+	"gnumap/internal/stats"
+)
+
+// Call is one called variant.
+type Call struct {
+	// Contig and Pos are the contig-relative (0-based) location.
+	Contig string
+	Pos    int
+	// GlobalPos is the position in the reference's concatenated
+	// coordinate space.
+	GlobalPos int
+	// Ref is the reference base.
+	Ref dna.Code
+	// Allele is the dominant called channel.
+	Allele dna.Channel
+	// Allele2 is the second allele for heterozygous calls (equals
+	// Allele otherwise).
+	Allele2 dna.Channel
+	// Het marks a heterozygous diploid call.
+	Het bool
+	// Stat and PValue are the LRT statistic and its χ²₁ p-value.
+	Stat   float64
+	PValue float64
+	// Depth is the total accumulated mass at the position (the
+	// effective coverage).
+	Depth float64
+}
+
+// Config controls calling.
+type Config struct {
+	// Ploidy selects the hypothesis family (default Monoploid).
+	Ploidy lrt.Ploidy
+	// Alpha is the family-wise significance level (default 0.05); the
+	// per-test cutoff is the paper's α/5 adjustment.
+	Alpha float64
+	// UseFDR switches from the fixed cutoff to Benjamini–Hochberg
+	// control at level Alpha across all tested positions.
+	UseFDR bool
+	// MinDepth skips positions with less accumulated mass (default 2):
+	// below it the LRT has essentially no power and the χ²
+	// approximation is poor.
+	MinDepth float64
+	// MinHetMinorFraction demotes heterozygous calls whose minor
+	// allele holds less than this share of the position's mass to
+	// homozygous top-allele calls (default 0.25; negative disables).
+	// At short-read error rates a handful of same-base errors can
+	// out-fit the homozygous model on raw counts alone; true
+	// heterozygotes sit near 0.5. This is the allele-balance filter
+	// every production genotyper applies in some form.
+	MinHetMinorFraction float64
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.MinDepth == 0 {
+		c.MinDepth = 2
+	}
+	if c.MinHetMinorFraction == 0 {
+		c.MinHetMinorFraction = 0.25
+	}
+	return c
+}
+
+// Stats summarizes a calling run.
+type Stats struct {
+	// Tested is the number of positions with enough depth to test.
+	Tested int
+	// Significant is the number of positions whose LRT cleared the
+	// cutoff (whether or not they differ from the reference).
+	Significant int
+	// SNPs is the number of significant positions differing from the
+	// reference (len of the returned calls).
+	SNPs int
+}
+
+// CallRange runs the LRT caller over global positions [from, to) of the
+// accumulator, offset mapping accumulator index 0 to global position
+// `offset` (non-zero in genome-split mode). It returns SNP calls sorted
+// by position.
+func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to int, cfg Config) ([]Call, Stats, error) {
+	cfg = cfg.withDefaults()
+	var st Stats
+	if ref == nil || acc == nil {
+		return nil, st, fmt.Errorf("snp: nil reference or accumulator")
+	}
+	if from < offset {
+		from = offset
+	}
+	if to > offset+acc.Len() {
+		to = offset + acc.Len()
+	}
+	if to > ref.Len() {
+		to = ref.Len()
+	}
+	cutoff, err := lrt.AdjustedPValueCutoff(cfg.Alpha)
+	if err != nil {
+		return nil, st, err
+	}
+	type tested struct {
+		call Call
+		res  lrt.Result
+	}
+	var candidates []tested
+	for g := from; g < to; g++ {
+		v := acc.Vector(g - offset)
+		var depth float64
+		for _, x := range v {
+			depth += x
+		}
+		if depth < cfg.MinDepth {
+			continue
+		}
+		res, err := lrt.Test(v, cfg.Ploidy)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Tested++
+		refBase, err := ref.Base(g)
+		if err != nil {
+			return nil, st, err
+		}
+		contig, local, err := ref.Locate(g)
+		if err != nil {
+			// Inter-contig spacer positions are not callable.
+			continue
+		}
+		candidates = append(candidates, tested{
+			call: Call{
+				Contig:    contig,
+				Pos:       local,
+				GlobalPos: g,
+				Ref:       refBase,
+				Allele:    res.Top,
+				Allele2:   res.Top,
+				Het:       res.Heterozygous,
+				Stat:      res.Stat,
+				PValue:    res.PValue,
+				Depth:     depth,
+			},
+			res: res,
+		})
+	}
+	// Decide significance: fixed adjusted cutoff, or BH over the
+	// tested positions.
+	significant := make([]bool, len(candidates))
+	if cfg.UseFDR {
+		ps := make([]float64, len(candidates))
+		for i, c := range candidates {
+			ps[i] = c.call.PValue
+		}
+		significant, err = stats.RejectFDR(ps, cfg.Alpha)
+		if err != nil {
+			return nil, st, err
+		}
+	} else {
+		for i, c := range candidates {
+			significant[i] = c.call.PValue <= cutoff
+		}
+	}
+	var calls []Call
+	for i, c := range candidates {
+		if !significant[i] {
+			continue
+		}
+		st.Significant++
+		call := c.call
+		if call.Het {
+			call.Allele2 = c.res.Second
+			if cfg.MinHetMinorFraction > 0 && c.res.MinorFraction < cfg.MinHetMinorFraction {
+				// Allele balance too skewed for a genuine het: demote
+				// to the homozygous top allele.
+				call.Het = false
+				call.Allele2 = call.Allele
+			}
+		}
+		if isSNP(call) {
+			st.SNPs++
+			calls = append(calls, call)
+		}
+	}
+	sort.Slice(calls, func(i, j int) bool { return calls[i].GlobalPos < calls[j].GlobalPos })
+	return calls, st, nil
+}
+
+// Call runs CallRange over the whole reference with a full-length
+// accumulator.
+func CallAll(ref *genome.Reference, acc genome.Accumulator, cfg Config) ([]Call, Stats, error) {
+	if ref == nil || acc == nil {
+		return nil, Stats{}, fmt.Errorf("snp: nil reference or accumulator")
+	}
+	return CallRange(ref, acc, 0, 0, ref.Len(), cfg)
+}
+
+// isSNP reports whether a significant call differs from the reference.
+// A gap-dominant position is an indel signal, not a SNP; the paper's
+// caller reports SNPs, so gap calls are excluded.
+func isSNP(c Call) bool {
+	refCh := dna.Channel(c.Ref)
+	if !c.Ref.IsConcrete() {
+		// Reference N: any confident base is a "difference", but it is
+		// not a meaningful SNP; skip.
+		return false
+	}
+	if c.Het {
+		// Heterozygous: a SNP if either allele differs from reference.
+		aDiff := c.Allele != refCh && c.Allele != dna.ChGap
+		bDiff := c.Allele2 != refCh && c.Allele2 != dna.ChGap
+		return aDiff || bDiff
+	}
+	return c.Allele != refCh && c.Allele != dna.ChGap
+}
+
+// AltAllele returns the called variant allele: for a heterozygous call
+// whose top allele matches the reference, the second allele.
+func (c Call) AltAllele() dna.Channel {
+	refCh := dna.Channel(c.Ref)
+	if c.Het && c.Allele == refCh {
+		return c.Allele2
+	}
+	return c.Allele
+}
+
+// Metrics is the Table I / Table III accuracy accounting.
+type Metrics struct {
+	TP, FP, FN int
+	// WrongAllele counts calls at a true SNP position with the wrong
+	// alternate allele (counted in FP and FN, reported for diagnosis).
+	WrongAllele int
+}
+
+// Precision returns TP/(TP+FP), 0 when nothing was called.
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Sensitivity returns TP/(TP+FN), 0 when the truth set is empty.
+func (m Metrics) Sensitivity() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// Evaluate scores calls against a planted truth catalog (positions in
+// global coordinates). A call is a true positive when its position is
+// in the catalog and its alternate allele matches the planted one.
+func Evaluate(calls []Call, truth []simulate.SNP) Metrics {
+	var m Metrics
+	byPos := make(map[int]simulate.SNP, len(truth))
+	for _, s := range truth {
+		byPos[s.Pos] = s
+	}
+	matched := make(map[int]bool, len(truth))
+	for _, c := range calls {
+		s, ok := byPos[c.GlobalPos]
+		if !ok {
+			m.FP++
+			continue
+		}
+		if dna.Channel(s.Alt) == c.AltAllele() {
+			if !matched[c.GlobalPos] {
+				m.TP++
+				matched[c.GlobalPos] = true
+			}
+			continue
+		}
+		m.WrongAllele++
+		m.FP++
+	}
+	m.FN = len(truth) - m.TP
+	return m
+}
+
+// WriteVCF emits calls as minimal VCF 4.2.
+func WriteVCF(w io.Writer, calls []Call, source string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "##fileformat=VCFv4.2\n##source=%s\n", source); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "##INFO=<ID=DP,Number=1,Type=Float,Description=\"Accumulated probability depth\">"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "##INFO=<ID=LRT,Number=1,Type=Float,Description=\"-2 log likelihood ratio\">"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO"); err != nil {
+		return err
+	}
+	for _, c := range calls {
+		qual := 0.0
+		if c.PValue > 0 {
+			qual = -10 * math.Log10(c.PValue)
+		} else {
+			qual = 999
+		}
+		alt := c.AltAllele().String()
+		if c.Het && c.Allele != dna.Channel(c.Ref) && c.Allele2 != dna.Channel(c.Ref) &&
+			c.Allele2 != c.Allele && c.Allele2 != dna.ChGap {
+			// Triallelic het: both alleles differ from the reference.
+			alt = c.Allele.String() + "," + c.Allele2.String()
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t.\t%s\t%s\t%.1f\tPASS\tDP=%.2f;LRT=%.3f\n",
+			c.Contig, c.Pos+1, c.Ref, alt, qual, c.Depth, c.Stat); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

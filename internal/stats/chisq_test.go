@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Reference values computed with R's pchisq/qchisq.
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, df, want float64
+	}{
+		{1, 1, 0.6826894921370859},
+		{3.841458820694124, 1, 0.95},
+		{6.634896601021213, 1, 0.99},
+		{2, 2, 0.6321205588285577},
+		{5.991464547107979, 2, 0.95},
+		{10, 5, 0.9247647538534878},
+		{0.5, 3, 0.08110858834532417},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareCDF(c.x, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("CDF(%g, df=%g) = %.15g, want %.15g", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSFComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 50
+		df := 0.5 + rng.Float64()*10
+		cdf, err1 := ChiSquareCDF(x, df)
+		sf, err2 := ChiSquareSF(x, df)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(cdf+sf-1) > 1e-12 {
+			t.Fatalf("CDF+SF = %g at x=%g df=%g", cdf+sf, x, df)
+		}
+	}
+}
+
+func TestChiSquareEdgeCases(t *testing.T) {
+	if v, err := ChiSquareCDF(0, 1); err != nil || v != 0 {
+		t.Errorf("CDF(0) = %v, %v", v, err)
+	}
+	if v, err := ChiSquareCDF(-1, 1); err != nil || v != 0 {
+		t.Errorf("CDF(-1) = %v, %v", v, err)
+	}
+	if v, err := ChiSquareSF(0, 1); err != nil || v != 1 {
+		t.Errorf("SF(0) = %v, %v", v, err)
+	}
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Error("df=0 accepted")
+	}
+	if _, err := ChiSquareSF(1, -2); err == nil {
+		t.Error("negative df accepted")
+	}
+}
+
+func TestChiSquareQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.95, 1, 3.841458820694124},
+		{0.99, 1, 6.634896601021213},
+		{0.95, 2, 5.991464547107979},
+		{0.5, 1, 0.45493642311957283},
+		{0.999, 1, 10.827566170662733},
+		// The paper's 1 - alpha/5 adjustment at alpha = 0.05:
+		{0.99, 1, 6.634896601021213},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareQuantile(c.p, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("Quantile(%g, df=%g) = %.12g, want %.12g", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestQuantileCDFRoundTripProperty(t *testing.T) {
+	f := func(rawP, rawDF float64) bool {
+		p := math.Mod(math.Abs(rawP), 0.999)
+		df := 0.5 + math.Mod(math.Abs(rawDF), 20)
+		x, err := ChiSquareQuantile(p, df)
+		if err != nil {
+			return false
+		}
+		back, err := ChiSquareCDF(x, df)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-p) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	if _, err := ChiSquareQuantile(1.0, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := ChiSquareQuantile(-0.1, 1); err == nil {
+		t.Error("p<0 accepted")
+	}
+	if v, err := ChiSquareQuantile(0, 3); err != nil || v != 0 {
+		t.Errorf("Quantile(0) = %v, %v", v, err)
+	}
+	if _, err := ChiSquareQuantile(0.5, 0); err == nil {
+		t.Error("df=0 accepted")
+	}
+}
+
+func TestGammaIncLowerUpperComplementProperty(t *testing.T) {
+	f := func(rawA, rawX float64) bool {
+		a := 0.1 + math.Mod(math.Abs(rawA), 30)
+		x := math.Mod(math.Abs(rawX), 60)
+		lo, err1 := GammaIncLower(a, x)
+		up, err2 := GammaIncUpper(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(lo+up-1) < 1e-10 && lo >= -1e-15 && lo <= 1+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaIncMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 20; x += 0.25 {
+		v, err := GammaIncLower(2.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("P(a,x) not monotone at x=%g: %g < %g", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestGammaIncValidation(t *testing.T) {
+	if _, err := GammaIncLower(0, 1); err == nil {
+		t.Error("a=0 accepted")
+	}
+	if _, err := GammaIncLower(1, -1); err == nil {
+		t.Error("x<0 accepted")
+	}
+	if _, err := GammaIncUpper(-1, 1); err == nil {
+		t.Error("a<0 accepted")
+	}
+	if _, err := GammaIncUpper(1, -1); err == nil {
+		t.Error("x<0 accepted for upper")
+	}
+	if v, err := GammaIncUpper(3, 0); err != nil || v != 1 {
+		t.Errorf("Q(a,0) = %v, %v, want 1", v, err)
+	}
+}
+
+// Gamma(a, x) for integer a has the closed form
+// Q(n, x) = e^-x Σ_{k<n} x^k/k!; cross-check against it.
+func TestGammaIncIntegerClosedForm(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, x := range []float64{0.1, 1, 3, 7.5, 20} {
+			want := 0.0
+			term := 1.0
+			for k := 0; k < n; k++ {
+				if k > 0 {
+					term *= x / float64(k)
+				}
+				want += term
+			}
+			want *= math.Exp(-x)
+			got, err := GammaIncUpper(float64(n), x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("Q(%d, %g) = %.15g, want %.15g", n, x, got, want)
+			}
+		}
+	}
+}

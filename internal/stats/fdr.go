@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BenjaminiHochberg computes Benjamini–Hochberg adjusted p-values
+// (q-values) for the given raw p-values. Rejecting every hypothesis
+// with q <= alpha controls the false discovery rate at alpha. The
+// returned slice is index-aligned with the input.
+func BenjaminiHochberg(pvalues []float64) ([]float64, error) {
+	n := len(pvalues)
+	if n == 0 {
+		return nil, nil
+	}
+	type entry struct {
+		p   float64
+		idx int
+	}
+	entries := make([]entry, n)
+	for i, p := range pvalues {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("stats: p-value %g at index %d out of [0,1]", p, i)
+		}
+		entries[i] = entry{p, i}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].p < entries[j].p })
+	q := make([]float64, n)
+	// Walk from the largest p down, enforcing monotonicity.
+	minSoFar := 1.0
+	for rank := n - 1; rank >= 0; rank-- {
+		v := entries[rank].p * float64(n) / float64(rank+1)
+		if v < minSoFar {
+			minSoFar = v
+		}
+		if minSoFar > 1 {
+			minSoFar = 1
+		}
+		q[entries[rank].idx] = minSoFar
+	}
+	return q, nil
+}
+
+// RejectFDR returns, index-aligned with pvalues, whether each hypothesis
+// is rejected under Benjamini–Hochberg control at level alpha.
+func RejectFDR(pvalues []float64, alpha float64) ([]bool, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("stats: FDR level alpha = %g out of (0,1)", alpha)
+	}
+	q, err := BenjaminiHochberg(pvalues)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(q))
+	for i, v := range q {
+		out[i] = v <= alpha
+	}
+	return out, nil
+}
+
+// BonferroniAlpha returns the per-test significance level for m tests at
+// family-wise level alpha; the paper uses this (1 - α/5 quantile) to
+// adjust its five per-channel background comparisons.
+func BonferroniAlpha(alpha float64, m int) (float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("stats: alpha = %g out of (0,1)", alpha)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("stats: m = %d tests", m)
+	}
+	return alpha / float64(m), nil
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBenjaminiHochbergKnown(t *testing.T) {
+	// Hand-worked example (matches R's p.adjust(method="BH")).
+	p := []float64{0.01, 0.04, 0.03, 0.005}
+	// sorted: 0.005(4/1), 0.01(4/2), 0.03(4/3), 0.04(4/4)
+	// raw: 0.02, 0.02, 0.04, 0.04 -> monotone from the top: same.
+	q, err := BenjaminiHochberg(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.02, 0.04, 0.04, 0.02}
+	for i := range want {
+		if math.Abs(q[i]-want[i]) > 1e-12 {
+			t.Errorf("q[%d] = %g, want %g", i, q[i], want[i])
+		}
+	}
+}
+
+func TestBenjaminiHochbergMonotoneCap(t *testing.T) {
+	q, err := BenjaminiHochberg([]float64{0.9, 0.95, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range q {
+		if v > 1 {
+			t.Errorf("q[%d] = %g > 1", i, v)
+		}
+	}
+}
+
+func TestBenjaminiHochbergEmptyAndValidation(t *testing.T) {
+	q, err := BenjaminiHochberg(nil)
+	if err != nil || q != nil {
+		t.Errorf("nil input: %v, %v", q, err)
+	}
+	if _, err := BenjaminiHochberg([]float64{0.5, -0.1}); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := BenjaminiHochberg([]float64{1.5}); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+// Properties: q >= p elementwise; order of q matches order of p;
+// q within [0, 1].
+func TestBenjaminiHochbergProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = math.Mod(math.Abs(v), 1)
+		}
+		q, err := BenjaminiHochberg(p)
+		if err != nil {
+			return false
+		}
+		for i := range p {
+			if q[i] < p[i]-1e-12 || q[i] > 1+1e-12 {
+				return false
+			}
+		}
+		// Sorted p implies sorted q.
+		idx := make([]int, len(p))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return p[idx[a]] < p[idx[b]] })
+		for k := 1; k < len(idx); k++ {
+			if q[idx[k]] < q[idx[k-1]]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Under the global null (uniform p-values) BH should reject ~alpha
+// fraction of *experiments*, i.e. rarely anything at all; with strong
+// signal mixed in, it should reject most of the signal.
+func TestRejectFDRBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 1000
+	p := make([]float64, n)
+	trueSignal := make([]bool, n)
+	for i := range p {
+		if i < 100 {
+			p[i] = rng.Float64() * 1e-6 // signal
+			trueSignal[i] = true
+		} else {
+			p[i] = rng.Float64() // null
+		}
+	}
+	rej, err := RejectFDR(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught, falsePos := 0, 0
+	for i, r := range rej {
+		if r && trueSignal[i] {
+			caught++
+		}
+		if r && !trueSignal[i] {
+			falsePos++
+		}
+	}
+	if caught < 95 {
+		t.Errorf("caught %d/100 signals", caught)
+	}
+	total := caught + falsePos
+	if total > 0 && float64(falsePos)/float64(total) > 0.15 {
+		t.Errorf("FDP = %d/%d, want <= ~0.05 with slack", falsePos, total)
+	}
+}
+
+func TestRejectFDRValidation(t *testing.T) {
+	if _, err := RejectFDR([]float64{0.5}, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := RejectFDR([]float64{0.5}, 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+}
+
+func TestBonferroniAlpha(t *testing.T) {
+	v, err := BonferroniAlpha(0.05, 5)
+	if err != nil || math.Abs(v-0.01) > 1e-15 {
+		t.Errorf("BonferroniAlpha = %v, %v", v, err)
+	}
+	if _, err := BonferroniAlpha(0, 5); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := BonferroniAlpha(0.05, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
