@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-phmm check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine, accumulators and cluster runtime are concurrent; -race on
+# the full tree is slow, so the gate covers the concurrent packages.
+race:
+	$(GO) test -race ./internal/core/... ./internal/cluster/... ./internal/genome/...
+
+vet:
+	$(GO) vet ./...
+
+# Kernel + engine benchmarks with allocation accounting (the banded
+# speedup and the 0 allocs/op gates live here).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/phmm/
+	$(GO) test -bench 'BenchmarkMapRead' -benchmem -benchtime 2000x -run '^$$' ./internal/core/
+
+# Machine-readable kernel trajectory (writes BENCH_phmm.json).
+bench-phmm:
+	$(GO) run ./cmd/snpbench -exp phmm
+
+check: build vet test race

@@ -37,6 +37,7 @@ func main() {
 		fdr       = flag.Bool("fdr", false, "Benjamini-Hochberg FDR control instead of the fixed cutoff")
 		memory    = flag.String("memory", "norm", "accumulator layout: norm, chardisc, centdisc")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
+		band      = flag.Int("band", 0, "PHMM band width in DP cells around the seed diagonal (0 = auto 2*pad+2, negative = exact full kernel)")
 		fit       = flag.Bool("fit", false, "fit PHMM parameters to the data (Baum-Welch) before mapping")
 		samPath   = flag.String("sam", "", "also write best alignments as SAM to this file (single-process mode only)")
 		pileupOut = flag.String("pileup", "", "also write the probability pileup as TSV to this file (single-process mode only)")
@@ -67,6 +68,7 @@ func main() {
 	}
 	opts := gnumap.Options{Memory: mem}
 	opts.Engine.Workers = *workers
+	opts.Engine.Band = *band
 	if *fit {
 		sample := reads
 		if len(sample) > 2000 {

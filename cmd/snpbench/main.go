@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,7 +29,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("snpbench: ")
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, all")
+		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, all")
+		benchOut   = flag.String("benchout", "BENCH_phmm.json", "output path for the phmm kernel benchmark JSON")
 		length     = flag.Int("length", 400_000, "simulated genome length")
 		snps       = flag.Int("snps", 0, "planted SNP count (default: paper density, length/10500)")
 		coverage   = flag.Float64("coverage", 12, "read coverage")
@@ -94,6 +96,10 @@ func main() {
 	}
 	if all || wants["sweep"] {
 		runSweep(ds, *workers)
+		ran = true
+	}
+	if all || wants["phmm"] {
+		runPhmmBench(*benchOut)
 		ran = true
 	}
 	if !ran {
@@ -210,6 +216,42 @@ func runSweep(ds *experiments.Dataset, workers int) {
 			r.Alpha, control, r.TP, r.FP, 100*r.Precision, 100*r.Sensitivity)
 	}
 	fmt.Println()
+}
+
+// runPhmmBench measures the PHMM kernel variants and writes the
+// machine-readable BENCH_phmm.json used to track the kernel across PRs.
+func runPhmmBench(outPath string) {
+	fmt.Println("PHMM KERNEL — banded vs full, 62-bp read / 78-bp window")
+	rows, err := experiments.PhmmKernelBench()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %6s %8s %12s %10s %10s\n", "variant", "band", "cells", "ns/op", "ns/cell", "allocs/op")
+	for _, r := range rows {
+		fmt.Printf("%-16s %6d %8d %12.0f %10.2f %10d\n",
+			r.Name, r.Band, r.Cells, r.NsPerOp, r.NsPerCell, r.AllocsPerOp)
+	}
+	report := struct {
+		Generated string                     `json:"generated"`
+		GoOS      string                     `json:"goos"`
+		GoArch    string                     `json:"goarch"`
+		Input     string                     `json:"input"`
+		Rows      []experiments.PhmmBenchRow `json:"rows"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Input:     "62bp read vs 78bp window, diag 8",
+		Rows:      rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
 }
 
 // human renders bytes in the paper's "4.76g" style.

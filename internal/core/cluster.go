@@ -20,8 +20,10 @@ import (
 //     1/N slice of the genome and accumulator, and every node maps all
 //     reads against its slice. Posterior-location normalization needs
 //     the *global* likelihood mass of each read, so nodes exchange
-//     per-read likelihood sums every batch (two Allreduce rounds, a
-//     max and a sum, giving a distributed log-sum-exp). Alignments
+//     per-read likelihood sums every batch (three Allreduce rounds: a
+//     max and a sum giving a distributed log-sum-exp, then a
+//     survivor-mass sum so post-threshold renormalization matches the
+//     shared-memory engine). Alignments
 //     spilling over a slice boundary route their out-of-range
 //     contributions to the owning node point-to-point at the end.
 //     Minimal memory, more communication — which is why the paper's
@@ -121,10 +123,10 @@ func GenomeSlice(refLen, size, rank int) (lo, hi int) {
 type spillBatch []float64
 
 // GenomeSplitBatch is the number of reads per genome-split
-// normalization round: each batch costs two Allreduce collectives (a
-// max and a sum over one float64 per read). Exported so the
-// performance model in internal/experiments can count collective
-// rounds.
+// normalization round: each batch costs three Allreduce collectives (a
+// max, a sum, and a post-threshold survivor-mass sum, each over one
+// float64 per read). Exported so the performance model in
+// internal/experiments can count collective rounds.
 const GenomeSplitBatch = 256
 
 // RunGenomeSplit executes genome-split mapping on one cluster node.
@@ -195,9 +197,23 @@ func RunGenomeSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read,
 			if err != nil {
 				return nil, 0, 0, st, err
 			}
-			// mapRead's result aliases the mapper; copy.
+			// mapRead's result — including every contribs slice, which
+			// is carved from the mapper's reusable arena — aliases the
+			// mapper and dies at its next call; deep-copy into one
+			// batch-lived backing array.
 			cp := make([]location, len(locs))
 			copy(cp, locs)
+			nvec := 0
+			for _, l := range locs {
+				nvec += len(l.contribs)
+			}
+			backing := make([]genome.Vec, nvec)
+			off := 0
+			for j := range cp {
+				n := copy(backing[off:off+len(cp[j].contribs)], cp[j].contribs)
+				cp[j].contribs = backing[off : off+n : off+n]
+				off += n
+			}
 			batchLocs[i] = cp
 			for _, l := range cp {
 				if l.logLik > localMax[i] {
@@ -225,6 +241,28 @@ func RunGenomeSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read,
 			return nil, 0, 0, st, err
 		}
 		gsum := gsumAny.([]float64)
+		// Phase 2b: survivor-mass round. The shared-memory engine
+		// renormalizes the weights surviving the MinPosterior threshold
+		// so each mapped read deposits unit mass; mirroring that needs
+		// the *global* surviving mass, hence a third Allreduce.
+		localSurv := make([]float64, b)
+		if !cfg.BestHitOnly {
+			for i := 0; i < b; i++ {
+				if math.IsInf(gmax[i], -1) || gsum[i] <= 0 {
+					continue
+				}
+				for _, l := range batchLocs[i] {
+					if w := math.Exp(l.logLik-gmax[i]) / gsum[i]; w >= cfg.MinPosterior {
+						localSurv[i] += w
+					}
+				}
+			}
+		}
+		gsurvAny, err := c.Allreduce(localSurv, cluster.SumFloat64s)
+		if err != nil {
+			return nil, 0, 0, st, err
+		}
+		gsurv := gsurvAny.([]float64)
 		// Phase 3: apply weighted contributions; spill out-of-range
 		// positions to their owners.
 		for i := 0; i < b; i++ {
@@ -245,6 +283,8 @@ func RunGenomeSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read,
 					w = math.Exp(l.logLik-gmax[i]) / gsum[i]
 					if w < cfg.MinPosterior {
 						w = 0
+					} else if gsurv[i] > 0 && gsurv[i] < 1 {
+						w /= gsurv[i]
 					}
 				}
 				if w == 0 {

@@ -42,6 +42,12 @@ type Config struct {
 	// Pad is the extra genome context on each side of a candidate
 	// window in SemiGlobal mode (default 8).
 	Pad int
+	// Band is the diagonal band width (in DP cells) of the banded
+	// Pair-HMM kernel. 0 ("auto") picks 2*Pad+2 in SemiGlobal mode —
+	// the seed diagonal is known to within the window padding plus the
+	// candidate-merge slack — and the full kernel in Global mode.
+	// Negative forces the exact full-rectangle kernel.
+	Band int
 	// Workers is the shared-memory worker count (default GOMAXPROCS).
 	Workers int
 	// Attribution selects how posterior mass maps to base channels
@@ -116,6 +122,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// effectiveBand resolves the Band knob into the width passed to
+// phmm.AlignBanded (0 there means "full kernel"). Call only after
+// withDefaults, since auto mode depends on Pad.
+func (c Config) effectiveBand() int {
+	switch {
+	case c.Band > 0:
+		return c.Band
+	case c.Band < 0:
+		return 0
+	case c.AlignMode == phmm.SemiGlobal:
+		return 2*c.Pad + 2
+	default:
+		// Global windows are exact-size and unpadded; an indel anywhere
+		// shifts the tail off any narrow diagonal, so auto keeps the
+		// full kernel.
+		return 0
+	}
+}
+
 // Stats counts mapping outcomes.
 type Stats struct {
 	// Mapped and Unmapped count reads; Locations counts accepted
@@ -134,8 +159,10 @@ func (s *Stats) add(o Stats) {
 // Engine maps reads against one reference (or reference slice).
 type Engine struct {
 	cfg Config
-	ref *genome.Reference
-	idx *kmer.Index
+	// band is the resolved PHMM band width (cfg.effectiveBand()).
+	band int
+	ref  *genome.Reference
+	idx  *kmer.Index
 	// indexOffset is the global position of idx position 0 (non-zero
 	// for genome-split nodes indexing a slice).
 	indexOffset int
@@ -170,7 +197,10 @@ func newEngineSlice(ref *genome.Reference, lo, hi int, cfg Config) (*Engine, err
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, ref: ref, idx: idx, indexOffset: lo, ownLo: 0, ownHi: ref.Len()}, nil
+	return &Engine{
+		cfg: cfg, band: cfg.effectiveBand(),
+		ref: ref, idx: idx, indexOffset: lo, ownLo: 0, ownHi: ref.Len(),
+	}, nil
 }
 
 // Config returns the engine's effective configuration.
@@ -192,12 +222,52 @@ type location struct {
 	windowLen int
 }
 
-// mapper holds per-worker scratch state.
+// scoredCand pairs a candidate with its source strand (0 = forward,
+// 1 = reverse complement).
+type scoredCand struct {
+	sc   int
+	cand kmer.Candidate
+}
+
+// mapper holds per-worker scratch state. All of it is reused across
+// mapRead calls so the steady-state mapping hot path performs no heap
+// allocations.
 type mapper struct {
 	e       *Engine
 	aligner *phmm.Aligner
 	locs    []location
 	totals  []float64
+	// Per-read scratch.
+	fwdPWM, revPWM pwm.Matrix
+	candBuf        kmer.CandidateBuf
+	scored         []scoredCand
+	wbuf           []float64
+	// arena backs the contribs slices of the current read's locations;
+	// arenaOff is the bump-pointer, reset at the top of every mapRead.
+	arena    []genome.Vec
+	arenaOff int
+}
+
+// grabContribs carves a zeroed n-element chunk from the arena. Chunks
+// stay referenced by m.locs until the next mapRead resets arenaOff, so
+// growth swaps in a fresh backing array instead of copying: live chunks
+// keep pointing into the old one. After a few reads the arena reaches
+// the high-water mark and grabs stop allocating.
+func (m *mapper) grabContribs(n int) []genome.Vec {
+	if m.arenaOff+n > len(m.arena) {
+		sz := 2 * (m.arenaOff + n)
+		if sz < 1024 {
+			sz = 1024
+		}
+		m.arena = make([]genome.Vec, sz)
+		m.arenaOff = 0
+	}
+	c := m.arena[m.arenaOff : m.arenaOff+n : m.arenaOff+n]
+	m.arenaOff += n
+	for j := range c {
+		c[j] = genome.Vec{}
+	}
+	return c
 }
 
 func (e *Engine) newMapper() (*mapper, error) {
@@ -214,20 +284,20 @@ func (e *Engine) newMapper() (*mapper, error) {
 // m.locs and is valid until the next mapRead call.
 func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 	m.locs = m.locs[:0]
+	m.arenaOff = 0
 	if err := rd.Validate(); err != nil {
 		return nil, nil // malformed read: unmapped, not fatal
 	}
-	var fwdPWM *pwm.Matrix
 	var err error
 	if m.e.cfg.IgnoreQualities {
-		fwdPWM, err = pwm.FromSeqUniformError(rd.Seq, 0)
+		err = m.fwdPWM.FillSeqUniformError(rd.Seq, 0)
 	} else {
-		fwdPWM, err = pwm.FromRead(rd)
+		err = m.fwdPWM.FillFromRead(rd)
 	}
 	if err != nil {
 		return nil, nil
 	}
-	revPWM := fwdPWM.ReverseComplement()
+	m.revPWM.FillReverseComplementOf(&m.fwdPWM)
 	e := m.e
 	minVotes := e.cfg.MinSeedVotes
 	if len(rd.Seq) < 2*e.cfg.K {
@@ -247,64 +317,62 @@ func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 		pad = 0
 		opts.Slack = 0
 	}
-	type strandCase struct {
-		p     *pwm.Matrix
-		calls dna.Seq
-	}
-	strands := []strandCase{{fwdPWM, fwdPWM.Calls()}, {revPWM, revPWM.Calls()}}
+	strands := [2]*pwm.Matrix{&m.fwdPWM, &m.revPWM}
 	// Collect candidates from both strands first so the vote filter is
-	// relative to the read's best location overall.
-	type scored struct {
-		sc   int
-		cand kmer.Candidate
-	}
-	var cands []scored
+	// relative to the read's best location overall. The CandidatesInto
+	// result aliases m.candBuf and is invalidated by the second strand's
+	// query, so candidates are copied out as they stream.
+	cands := m.scored[:0]
 	bestVotes := int32(0)
-	for si := range strands {
-		for _, cand := range e.idx.Candidates(strands[si].calls, opts) {
-			cands = append(cands, scored{sc: si, cand: cand})
+	for si, p := range strands {
+		for _, cand := range e.idx.CandidatesInto(p.Calls(), opts, &m.candBuf) {
+			cands = append(cands, scoredCand{sc: si, cand: cand})
 			if cand.Votes > bestVotes {
 				bestVotes = cand.Votes
 			}
 		}
 	}
+	m.scored = cands
 	voteCut := int32(e.cfg.MinVoteFraction * float64(bestVotes))
 	for _, cs := range cands {
-		{
-			cand := cs.cand
-			sc := strands[cs.sc]
-			minus := cs.sc == 1
-			if cand.Votes < voteCut {
-				continue
-			}
-			globalStart := int(cand.Start) + e.indexOffset
-			if globalStart < e.ownLo || globalStart >= e.ownHi {
-				continue
-			}
-			winStart := globalStart - pad
-			winLen := len(rd.Seq) + 2*pad
-			window, clippedStart := e.ref.Window(winStart, winLen)
-			if len(window) < len(rd.Seq) && e.cfg.AlignMode == phmm.Global {
-				continue
-			}
-			if len(window) == 0 {
-				continue
-			}
-			if err := m.alignAt(sc.p, window, clippedStart, len(rd.Seq), minus); err != nil {
-				return nil, err
-			}
+		cand := cs.cand
+		minus := cs.sc == 1
+		if cand.Votes < voteCut {
+			continue
+		}
+		globalStart := int(cand.Start) + e.indexOffset
+		if globalStart < e.ownLo || globalStart >= e.ownHi {
+			continue
+		}
+		winStart := globalStart - pad
+		winLen := len(rd.Seq) + 2*pad
+		window, clippedStart := e.ref.Window(winStart, winLen)
+		if len(window) < len(rd.Seq) && e.cfg.AlignMode == phmm.Global {
+			continue
+		}
+		if len(window) == 0 {
+			continue
+		}
+		// The seed says read position 0 sits at global position
+		// globalStart, i.e. window column globalStart-clippedStart
+		// (= Pad unless the window was clipped at a genome edge) — the
+		// diagonal the banded kernel anchors to.
+		diag := globalStart - clippedStart
+		if err := m.alignAt(strands[cs.sc], window, clippedStart, len(rd.Seq), diag, minus); err != nil {
+			return nil, err
 		}
 	}
 	return m.locs, nil
 }
 
-// alignAt aligns a PWM to a window and appends an accepted location.
-func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen int, minus bool) error {
+// alignAt aligns a PWM to a window (banded around diag when the engine
+// has a band configured) and appends an accepted location.
+func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen, diag int, minus bool) error {
 	e := m.e
 	if e.cfg.ViterbiOnly {
-		return m.viterbiAt(p, window, windowStart, readLen, minus)
+		return m.viterbiAt(p, window, windowStart, readLen, diag, minus)
 	}
-	res, err := m.aligner.Align(p, window)
+	res, err := m.aligner.AlignBanded(p, window, diag, e.band)
 	if err == phmm.ErrNoAlignment {
 		return nil
 	}
@@ -314,7 +382,7 @@ func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen int
 	if res.LogLik/float64(readLen) < e.cfg.MinLocLogLik {
 		return nil
 	}
-	contribs := make([]genome.Vec, len(window))
+	contribs := m.grabContribs(len(window))
 	if cap(m.totals) < len(window) {
 		m.totals = make([]float64, len(window))
 	}
@@ -345,8 +413,8 @@ func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen int
 
 // viterbiAt is the single-best-path ablation: the best alignment's
 // matched bases contribute deterministically (probability one each).
-func (m *mapper) viterbiAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen int, minus bool) error {
-	path, err := m.aligner.Viterbi(p, window)
+func (m *mapper) viterbiAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen, diag int, minus bool) error {
+	path, err := m.aligner.ViterbiBanded(p, window, diag, m.e.band)
 	if err == phmm.ErrNoAlignment {
 		return nil
 	}
@@ -356,7 +424,7 @@ func (m *mapper) viterbiAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen i
 	if path.LogProb/float64(readLen) < m.e.cfg.MinLocLogLik {
 		return nil
 	}
-	contribs := make([]genome.Vec, len(window))
+	contribs := m.grabContribs(len(window))
 	i := 0 // read cursor
 	j := path.Start - 1
 	for _, op := range path.Ops {
@@ -383,16 +451,23 @@ func (m *mapper) viterbiAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen i
 }
 
 // weights converts location log-likelihoods to posterior weights with a
-// numerically safe softmax; locations below MinPosterior are zeroed.
-// With BestHitOnly, the best location gets weight 1.
-func (e *Engine) weights(locs []location) []float64 {
-	w := make([]float64, len(locs))
+// numerically safe softmax; locations below MinPosterior are zeroed and
+// the surviving weights are renormalized so each mapped read deposits
+// exactly one unit of posterior mass (instead of silently leaking the
+// thresholded share). With BestHitOnly, the best location gets weight 1.
+// buf, when non-nil with sufficient capacity, backs the returned slice.
+func (e *Engine) weights(locs []location, buf []float64) []float64 {
+	if cap(buf) < len(locs) {
+		buf = make([]float64, len(locs))
+	}
+	w := buf[:len(locs)]
 	if len(locs) == 0 {
 		return w
 	}
 	if e.cfg.BestHitOnly {
 		best := 0
 		for i := range locs {
+			w[i] = 0
 			if locs[i].logLik > locs[best].logLik {
 				best = i
 			}
@@ -411,10 +486,21 @@ func (e *Engine) weights(locs []location) []float64 {
 		w[i] = math.Exp(locs[i].logLik - maxLL)
 		sum += w[i]
 	}
+	surviving := 0.0
 	for i := range w {
 		w[i] /= sum
 		if w[i] < e.cfg.MinPosterior {
 			w[i] = 0
+		} else {
+			surviving += w[i]
+		}
+	}
+	// The best location always clears any MinPosterior < 1/len(locs)...
+	// but guard against a degenerate threshold zeroing everything.
+	if surviving > 0 && surviving < 1 {
+		inv := 1 / surviving
+		for i := range w {
+			w[i] *= inv
 		}
 	}
 	return w
@@ -477,7 +563,8 @@ func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset
 						continue
 					}
 					atomic.AddInt64(&st.Mapped, 1)
-					ws := e.weights(locs)
+					ws := e.weights(locs, m.wbuf)
+					m.wbuf = ws
 					for i, loc := range locs {
 						if ws[i] == 0 {
 							continue

@@ -38,7 +38,7 @@ func (e *Engine) WriteAlignments(w io.Writer, reads []*fastq.Read, program strin
 			}
 			continue
 		}
-		weights := e.weights(locs)
+		weights := e.weights(locs, nil)
 		best := 0
 		for i := range locs {
 			if locs[i].logLik > locs[best].logLik {

@@ -36,7 +36,7 @@ func (e *Engine) CollectTrainingPairs(reads []*fastq.Read, max int, minWeight fl
 		if len(locs) == 0 {
 			continue
 		}
-		ws := e.weights(locs)
+		ws := e.weights(locs, nil)
 		best, bestW := -1, 0.0
 		for i, w := range ws {
 			if w > bestW {

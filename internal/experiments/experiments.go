@@ -264,7 +264,7 @@ type Fig4Point struct {
 	// ModeledRate is reads/second under critical-path accounting:
 	// per-node compute calibrated from the single-node run, plus the
 	// measured cost of the mode's communication phases (state
-	// reduction for read-split; 2 collectives per read batch plus the
+	// reduction for read-split; 3 collectives per read batch plus the
 	// spill exchange for genome-split). On a real N-CPU cluster the
 	// measured and modeled curves coincide up to scheduling noise.
 	ModeledRate float64
@@ -346,13 +346,13 @@ func Fig4(ds *Dataset, maxNodes int, transport cluster.TransportKind) ([]Fig4Poi
 			return nil, fmt.Errorf("fig4 genome-split nodes=%d: %w", nodes, err)
 		}
 		// Genome-split: modeled = full scan + 1/N of alignment work +
-		// two collectives per read batch.
+		// three collectives per read batch (max, sum, survivor mass).
 		nBatches := (R + core.GenomeSplitBatch - 1) / core.GenomeSplitBatch
 		tColl, err := allreduceSeconds(nodes, transport)
 		if err != nil {
 			return nil, err
 		}
-		model = tScanTotal + alignSeconds/float64(nodes) + float64(2*nBatches)*tColl
+		model = tScanTotal + alignSeconds/float64(nodes) + float64(3*nBatches)*tColl
 		points = append(points, Fig4Point{
 			Nodes: nodes, Mode: "genome-split",
 			MeasuredRate: float64(R) / wall.Seconds(),

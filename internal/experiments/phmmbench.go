@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/phmm"
+	"gnumap/internal/pwm"
+)
+
+// PhmmBenchRow is one Pair-HMM kernel measurement, emitted by snpbench
+// as machine-readable BENCH_phmm.json so successive PRs can track the
+// kernel's trajectory (ns/cell, allocation behaviour, cells computed).
+type PhmmBenchRow struct {
+	// Name identifies the kernel variant (align_full, align_banded,
+	// viterbi_full, viterbi_banded).
+	Name string `json:"name"`
+	// Mode is the alignment mode the variant ran in.
+	Mode string `json:"mode"`
+	// Band is the band width in DP cells (0 = full kernel).
+	Band int `json:"band"`
+	// Cells is the number of DP cells one alignment computes.
+	Cells int `json:"cells"`
+	// NsPerOp and NsPerCell are wall time per alignment and per cell.
+	NsPerOp   float64 `json:"ns_per_op"`
+	NsPerCell float64 `json:"ns_per_cell"`
+	// AllocsPerOp and BytesPerOp come from the Go benchmark allocator
+	// accounting; both must be 0 for a warm aligner.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// PhmmKernelBench benchmarks the PHMM kernel variants at the
+// paper-shaped input — a 62-bp read against a 78-bp padded window,
+// seed diagonal 8 (the default Pad) — using the standard library's
+// benchmark runner.
+func PhmmKernelBench() ([]PhmmBenchRow, error) {
+	rng := rand.New(rand.NewSource(1))
+	window := make(dna.Seq, 78)
+	for i := range window {
+		window[i] = dna.Code(rng.Intn(4))
+	}
+	read := window[8:70].Clone()
+	read[30] = dna.Code((int(read[30]) + 1) % 4)
+	x, err := pwm.FromSeqUniformError(read, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	const diag = 8
+	const band = 18 // the engine's auto band at the default Pad=8
+	n, m := x.Len(), len(window)
+
+	variants := []struct {
+		name    string
+		band    int
+		viterbi bool
+	}{
+		{"align_full", 0, false},
+		{"align_banded", band, false},
+		{"viterbi_full", 0, true},
+		{"viterbi_banded", band, true},
+	}
+	rows := make([]PhmmBenchRow, 0, len(variants))
+	for _, v := range variants {
+		a, err := phmm.NewAligner(phmm.DefaultParams(), phmm.SemiGlobal)
+		if err != nil {
+			return nil, err
+		}
+		// Warm the aligner's buffers so the measurement is steady-state.
+		if v.viterbi {
+			_, err = a.ViterbiBanded(x, window, diag, v.band)
+		} else {
+			_, err = a.AlignBanded(x, window, diag, v.band)
+		}
+		if err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v.viterbi {
+					_, err = a.ViterbiBanded(x, window, diag, v.band)
+				} else {
+					_, err = a.AlignBanded(x, window, diag, v.band)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cells := phmm.BandCells(n, m, diag, v.band)
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		rows = append(rows, PhmmBenchRow{
+			Name: v.name, Mode: phmm.SemiGlobal.String(), Band: v.band,
+			Cells: cells, NsPerOp: nsOp, NsPerCell: nsOp / float64(cells),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		})
+	}
+	return rows, nil
+}

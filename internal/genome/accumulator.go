@@ -107,12 +107,14 @@ func stripes(length int) []sync.Mutex {
 	return make([]sync.Mutex, n)
 }
 
-// lockRange locks every stripe covering [start, end) and returns an
-// unlock function. Stripes are acquired in ascending order, so
-// concurrent overlapping ranges cannot deadlock.
-func lockRange(locks []sync.Mutex, start, end int) func() {
-	first := start >> stripeShift
-	last := (end - 1) >> stripeShift
+// lockRange locks every stripe covering [start, end) and returns the
+// stripe span to hand back to unlockRange. Stripes are acquired in
+// ascending order, so concurrent overlapping ranges cannot deadlock.
+// (Returning the span instead of an unlock closure keeps AddRange off
+// the heap — this is the mapper's per-alignment hot path.)
+func lockRange(locks []sync.Mutex, start, end int) (first, last int) {
+	first = start >> stripeShift
+	last = (end - 1) >> stripeShift
 	if first < 0 {
 		first = 0
 	}
@@ -122,10 +124,13 @@ func lockRange(locks []sync.Mutex, start, end int) func() {
 	for s := first; s <= last; s++ {
 		locks[s].Lock()
 	}
-	return func() {
-		for s := first; s <= last; s++ {
-			locks[s].Unlock()
-		}
+	return first, last
+}
+
+// unlockRange releases the stripes acquired by the matching lockRange.
+func unlockRange(locks []sync.Mutex, first, last int) {
+	for s := first; s <= last; s++ {
+		locks[s].Unlock()
 	}
 }
 
@@ -169,8 +174,8 @@ func (a *normAcc) AddRange(start int, zs []Vec, weight float64) {
 	if !ok {
 		return
 	}
-	unlock := lockRange(a.locks, from, to)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, from, to)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	for pos := from; pos < to; pos++ {
 		z := &zs[zsFrom+pos-from]
 		base := pos * dna.NumChannels
@@ -181,8 +186,8 @@ func (a *normAcc) AddRange(start int, zs []Vec, weight float64) {
 }
 
 func (a *normAcc) Vector(pos int) Vec {
-	unlock := lockRange(a.locks, pos, pos+1)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, pos, pos+1)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	var v Vec
 	base := pos * dna.NumChannels
 	for k := 0; k < dna.NumChannels; k++ {
@@ -209,8 +214,8 @@ func (a *normAcc) Merge(other Accumulator) error {
 	if !ok || o.length != a.length {
 		return fmt.Errorf("genome: cannot merge %v/%d into NORM/%d", other.Mode(), other.Len(), a.length)
 	}
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	for i := range a.data {
 		a.data[i] += o.data[i]
 	}

@@ -224,8 +224,8 @@ func (a *centDiscAcc) AddRange(start int, zs []Vec, weight float64) {
 	if !ok {
 		return
 	}
-	unlock := lockRange(a.locks, from, to)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, from, to)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	for pos := from; pos < to; pos++ {
 		z := &zs[zsFrom+pos-from]
 		var mass float64
@@ -250,8 +250,8 @@ func (a *centDiscAcc) AddRange(start int, zs []Vec, weight float64) {
 }
 
 func (a *centDiscAcc) Vector(pos int) Vec {
-	unlock := lockRange(a.locks, pos, pos+1)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, pos, pos+1)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	t := float64(a.total[pos])
 	c := a.cb.Centroid(a.code[pos])
 	var v Vec
@@ -265,8 +265,8 @@ func (a *centDiscAcc) Vector(pos int) Vec {
 }
 
 func (a *centDiscAcc) Total(pos int) float64 {
-	unlock := lockRange(a.locks, pos, pos+1)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, pos, pos+1)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	return float64(a.total[pos])
 }
 
@@ -282,8 +282,8 @@ func (a *centDiscAcc) Merge(other Accumulator) error {
 	if !ok || o.length != a.length {
 		return fmt.Errorf("genome: cannot merge %v/%d into CENTDISC/%d", other.Mode(), other.Len(), a.length)
 	}
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	for pos := 0; pos < a.length; pos++ {
 		ta, to := float64(a.total[pos]), float64(o.total[pos])
 		switch {

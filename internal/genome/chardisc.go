@@ -97,8 +97,8 @@ func (a *charDiscAcc) AddRange(start int, zs []Vec, weight float64) {
 	if !ok {
 		return
 	}
-	unlock := lockRange(a.locks, from, to)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, from, to)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	for pos := from; pos < to; pos++ {
 		z := &zs[zsFrom+pos-from]
 		v := a.realVec(pos)
@@ -114,14 +114,14 @@ func (a *charDiscAcc) AddRange(start int, zs []Vec, weight float64) {
 }
 
 func (a *charDiscAcc) Vector(pos int) Vec {
-	unlock := lockRange(a.locks, pos, pos+1)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, pos, pos+1)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	return a.realVec(pos)
 }
 
 func (a *charDiscAcc) Total(pos int) float64 {
-	unlock := lockRange(a.locks, pos, pos+1)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, pos, pos+1)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	return float64(a.total[pos])
 }
 
@@ -134,8 +134,8 @@ func (a *charDiscAcc) Merge(other Accumulator) error {
 	if !ok || o.length != a.length {
 		return fmt.Errorf("genome: cannot merge %v/%d into CHARDISC/%d", other.Mode(), other.Len(), a.length)
 	}
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	for pos := 0; pos < a.length; pos++ {
 		ov := o.realVec(pos)
 		v := a.realVec(pos)

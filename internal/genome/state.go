@@ -26,8 +26,8 @@ type normState struct {
 
 // State implements Stateful.
 func (a *normAcc) State() ([]byte, error) {
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	return gobEncode(normState{Length: a.length, Data: a.data})
 }
 
@@ -40,8 +40,8 @@ func (a *normAcc) LoadStateBytes(data []byte) error {
 	if st.Length != a.length || len(st.Data) != len(a.data) {
 		return fmt.Errorf("genome: NORM state for length %d, have %d", st.Length, a.length)
 	}
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	copy(a.data, st.Data)
 	return nil
 }
@@ -55,8 +55,8 @@ type charDiscState struct {
 
 // State implements Stateful.
 func (a *charDiscAcc) State() ([]byte, error) {
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	return gobEncode(charDiscState{Length: a.length, Total: a.total, Frac: a.frac})
 }
 
@@ -69,8 +69,8 @@ func (a *charDiscAcc) LoadStateBytes(data []byte) error {
 	if st.Length != a.length || len(st.Total) != len(a.total) || len(st.Frac) != len(a.frac) {
 		return fmt.Errorf("genome: CHARDISC state for length %d, have %d", st.Length, a.length)
 	}
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	copy(a.total, st.Total)
 	copy(a.frac, st.Frac)
 	return nil
@@ -87,8 +87,8 @@ type centDiscState struct {
 
 // State implements Stateful.
 func (a *centDiscAcc) State() ([]byte, error) {
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	return gobEncode(centDiscState{Length: a.length, Total: a.total, Code: a.code})
 }
 
@@ -101,8 +101,8 @@ func (a *centDiscAcc) LoadStateBytes(data []byte) error {
 	if st.Length != a.length || len(st.Total) != len(a.total) || len(st.Code) != len(a.code) {
 		return fmt.Errorf("genome: CENTDISC state for length %d, have %d", st.Length, a.length)
 	}
-	unlock := lockRange(a.locks, 0, a.length)
-	defer unlock()
+	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
+	defer unlockRange(a.locks, lkFirst, lkLast)
 	copy(a.total, st.Total)
 	copy(a.code, st.Code)
 	return nil

@@ -12,7 +12,7 @@ package kmer
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"gnumap/internal/dna"
 )
@@ -143,10 +143,25 @@ type CandidateOptions struct {
 	Slack int
 }
 
+// CandidateBuf is reusable scratch for CandidatesInto, letting a
+// per-worker caller run candidate generation without steady-state heap
+// allocations. The zero value is ready to use.
+type CandidateBuf struct {
+	votes map[int32]int32
+	out   []Candidate
+}
+
 // Candidates seeds every (strided) k-mer of the read into the index and
 // votes on implied read start positions ("diagonals"). It returns
 // candidates sorted by descending votes, ties by ascending start.
 func (ix *Index) Candidates(read dna.Seq, opt CandidateOptions) []Candidate {
+	return ix.CandidatesInto(read, opt, &CandidateBuf{})
+}
+
+// CandidatesInto is Candidates with caller-owned scratch: the returned
+// slice aliases buf and is invalidated by the next CandidatesInto call
+// with the same buf.
+func (ix *Index) CandidatesInto(read dna.Seq, opt CandidateOptions, buf *CandidateBuf) []Candidate {
 	stride := opt.Stride
 	if stride <= 0 {
 		stride = 1
@@ -155,7 +170,11 @@ func (ix *Index) Candidates(read dna.Seq, opt CandidateOptions) []Candidate {
 	if minVotes <= 0 {
 		minVotes = 1
 	}
-	votes := make(map[int32]int32)
+	if buf.votes == nil {
+		buf.votes = make(map[int32]int32, 64)
+	}
+	votes := buf.votes
+	clear(votes)
 	for off := 0; off+ix.k <= len(read); off += stride {
 		m, ok := dna.PackKmer(read, off, ix.k)
 		if !ok {
@@ -178,18 +197,19 @@ func (ix *Index) Candidates(read dna.Seq, opt CandidateOptions) []Candidate {
 			votes[start]++
 		}
 	}
-	cands := make([]Candidate, 0, len(votes))
+	cands := buf.out[:0]
 	for start, v := range votes {
 		if int(v) >= minVotes {
 			cands = append(cands, Candidate{Start: start, Votes: v})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Votes != cands[j].Votes {
-			return cands[i].Votes > cands[j].Votes
+	slices.SortFunc(cands, func(a, b Candidate) int {
+		if a.Votes != b.Votes {
+			return int(b.Votes - a.Votes)
 		}
-		return cands[i].Start < cands[j].Start
+		return int(a.Start - b.Start)
 	})
+	buf.out = cands
 	if opt.MaxCandidates > 0 && len(cands) > opt.MaxCandidates {
 		cands = cands[:opt.MaxCandidates]
 	}

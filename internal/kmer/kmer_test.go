@@ -222,3 +222,45 @@ func TestMemoryBytesPositive(t *testing.T) {
 		t.Errorf("K/SeqLen wrong: %d/%d", ix.K(), ix.SeqLen())
 	}
 }
+
+// TestCandidatesIntoMatchesCandidates: the buffered query must return
+// the same candidates as the allocating one, and repeated calls on one
+// CandidateBuf must not allocate or carry state across reads.
+func TestCandidatesIntoMatchesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	seq := make(dna.Seq, 4000)
+	for i := range seq {
+		seq[i] = dna.Code(rng.Intn(4))
+	}
+	ix, err := New(seq, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CandidateOptions{MaxCandidates: 8, MinVotes: 2, Slack: 2}
+	var buf CandidateBuf
+	reads := make([]dna.Seq, 20)
+	for r := range reads {
+		start := rng.Intn(len(seq) - 40)
+		reads[r] = seq[start : start+40]
+	}
+	for r, read := range reads {
+		want := ix.Candidates(read, opt)
+		got := ix.CandidatesInto(read, opt, &buf)
+		if len(got) != len(want) {
+			t.Fatalf("read %d: %d candidates via buf, %d fresh", r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("read %d cand %d: %+v vs %+v", r, i, got[i], want[i])
+			}
+		}
+	}
+	// Steady state: the warm buffer must not allocate.
+	read := reads[0]
+	avg := testing.AllocsPerRun(20, func() {
+		ix.CandidatesInto(read, opt, &buf)
+	})
+	if avg > 0 {
+		t.Errorf("warm CandidatesInto allocates %.1f/op, want 0", avg)
+	}
+}

@@ -10,9 +10,10 @@ import (
 )
 
 // ErrNoAlignment is returned when the model assigns zero probability to
-// every alignment of the read and window (possible only with degenerate
+// every alignment of the read and window (possible with degenerate
 // parameters, e.g. a one-hot PWM against a mismatching window in Global
-// mode with a zero-probability Match entry).
+// mode with a zero-probability Match entry, or when a band excludes
+// every admissible alignment).
 var ErrNoAlignment = errors.New("phmm: no alignment with non-zero probability")
 
 // Aligner runs forward-backward alignments. It owns reusable DP
@@ -26,15 +27,32 @@ type Aligner struct {
 	// DP matrices, flattened row-major with stride m+1; row i spans
 	// [i*(m+1), (i+1)*(m+1)). Only the cells each pass writes are
 	// (re-)initialized — see forward/backward — so buffer reuse never
-	// leaks stale state into cells a pass reads.
+	// leaks stale state into cells a pass reads. In banded runs each
+	// pass additionally zeroes one guard cell on each side of a row's
+	// band, so band-edge reads of out-of-band neighbours see zero.
 	fM, fX, fY []float64
 	bM, bX, bY []float64
 	// pstar caches the quality-weighted emissions p*(i,j) for all
-	// rows, filled once per Align and shared by both passes (row i
-	// spans the same flat layout as the DP matrices).
+	// in-band cells, filled once per Align and shared by both passes
+	// (row i spans the same flat layout as the DP matrices).
 	pstar []float64
 	// scale[i] is the forward scaling factor of row i (scale[0] = 1).
 	scale []float64
+
+	// band geometry of the current run: when banded, only cells with
+	// |j - i - diag| <= radius are computed. Set per Align/Viterbi call.
+	banded bool
+	diag   int
+	radius int
+
+	// res is the reusable Result returned by Align; vres/path/ops are
+	// the Viterbi DP state and reusable output (see viterbi.go).
+	res Result
+
+	vM, vX, vY       []float64
+	ptrM, ptrX, ptrY []viterbiState
+	path             Path
+	ops, opsRev      []Op
 }
 
 // NewAligner returns an Aligner with validated parameters.
@@ -55,29 +73,103 @@ func (a *Aligner) Params() Params { return a.params }
 func (a *Aligner) Mode() Mode { return a.mode }
 
 // Result is a completed forward-backward alignment. It is a view into
-// the Aligner's buffers: valid only until the next Align/Viterbi call
-// on the same Aligner.
+// the Aligner's buffers: valid only until the next Align call on the
+// same Aligner (the Result struct itself is also reused).
 type Result struct {
 	a *Aligner
 	// N is the read length, M the window length.
 	N, M int
 	// LogLik is the natural-log total alignment likelihood, summed
-	// over all alignments admitted by the mode's boundary conditions.
+	// over all alignments admitted by the mode's boundary conditions
+	// (and, in banded runs, by the band).
 	LogLik float64
 	// lScaled is the terminal sum in scaled space; posteriors divide
 	// by it.
 	lScaled float64
 	x       *pwm.Matrix
 	y       dna.Seq
+	// band geometry snapshot (see Aligner).
+	banded       bool
+	diag, radius int
+}
+
+// bandRowBounds returns the inclusive column range [lo, hi] of row i
+// that a banded run computes: the cells with |j - i - diag| <= radius,
+// clipped to [1, m]. An empty intersection returns lo > hi. With
+// banded == false the whole row [1, m] is returned.
+func bandRowBounds(i, m, diag, radius int, banded bool) (lo, hi int) {
+	if !banded {
+		return 1, m
+	}
+	lo = i + diag - radius
+	hi = i + diag + radius
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > m {
+		hi = m
+	}
+	return lo, hi
+}
+
+// rowBounds is bandRowBounds under the aligner's current geometry.
+func (a *Aligner) rowBounds(i, m int) (lo, hi int) {
+	return bandRowBounds(i, m, a.diag, a.radius, a.banded)
+}
+
+// rowBounds is bandRowBounds under the result's geometry.
+func (r *Result) rowBounds(i int) (lo, hi int) {
+	return bandRowBounds(i, r.M, r.diag, r.radius, r.banded)
+}
+
+// inBand reports whether cell (i, j) was computed by the run.
+func (r *Result) inBand(i, j int) bool {
+	lo, hi := r.rowBounds(i)
+	return j >= lo && j <= hi
+}
+
+// BandCells returns the number of DP cells one pass of a banded
+// alignment of an n-base read against an m-base window computes — the
+// full n·m rectangle when band <= 0. Benchmarks use it to report
+// ns/cell.
+func BandCells(n, m, diag, band int) int {
+	if band <= 0 {
+		return n * m
+	}
+	cells := 0
+	for i := 1; i <= n; i++ {
+		lo, hi := bandRowBounds(i, m, diag, band/2, true)
+		if lo <= hi {
+			cells += hi - lo + 1
+		}
+	}
+	return cells
 }
 
 // Align runs the scaled forward and backward algorithms for read PWM x
-// against genome window y and returns the posterior view.
+// against genome window y over the full DP rectangle and returns the
+// posterior view.
 func (a *Aligner) Align(x *pwm.Matrix, y dna.Seq) (*Result, error) {
+	return a.AlignBanded(x, y, 0, 0)
+}
+
+// AlignBanded is Align restricted to a diagonal band: only cells with
+// |j - i - diag| <= band/2 are computed, where diag is the expected
+// offset between window column j and read row i (for a window that
+// starts pad bases before the read's seeded position, diag = pad).
+// band is the total band width in DP cells; band <= 0 disables banding
+// and reproduces Align bit-for-bit. The likelihood is then marginal
+// over in-band alignments only — for a band wide enough to contain the
+// probable alignments the difference is negligible, while the DP cost
+// drops from n·m to ~n·band.
+func (a *Aligner) AlignBanded(x *pwm.Matrix, y dna.Seq, diag, band int) (*Result, error) {
 	n, m := x.Len(), len(y)
 	if n == 0 || m == 0 {
 		return nil, fmt.Errorf("phmm: empty read (%d) or window (%d)", n, m)
 	}
+	a.banded = band > 0
+	a.diag = diag
+	a.radius = band / 2
 	a.resize(n, m)
 	a.fillEmissions(x, y, n, m)
 	if err := a.forward(n, m); err != nil {
@@ -92,7 +184,11 @@ func (a *Aligner) Align(x *pwm.Matrix, y dna.Seq) (*Result, error) {
 	for i := 1; i <= n; i++ {
 		logLik += math.Log(a.scale[i])
 	}
-	return &Result{a: a, N: n, M: m, LogLik: logLik, lScaled: lScaled, x: x, y: y}, nil
+	a.res = Result{
+		a: a, N: n, M: m, LogLik: logLik, lScaled: lScaled, x: x, y: y,
+		banded: a.banded, diag: a.diag, radius: a.radius,
+	}
+	return &a.res, nil
 }
 
 // resize grows the DP buffers to (n+1)×(m+1) without clearing them;
@@ -121,41 +217,46 @@ func (a *Aligner) resize(n, m int) {
 	a.scale = a.scale[:n+1]
 }
 
-// fillEmissions computes p*(i,j) = Σ_k r_ik·p(k|y_j) for every cell,
-// shared by the forward and backward passes.
+// fillEmissions computes p*(i,j) = Σ_k r_ik·p(k|y_j) for every in-band
+// cell, shared by the forward and backward passes. Out-of-band pstar
+// cells may hold stale values from earlier runs; every read of such a
+// cell is multiplied by a zeroed DP guard, so stale (always finite)
+// emissions never contribute.
 func (a *Aligner) fillEmissions(x *pwm.Matrix, y dna.Seq, n, m int) {
 	w := m + 1
 	for i := 1; i <= n; i++ {
+		lo, hi := a.rowBounds(i, m)
+		if lo > hi {
+			continue
+		}
 		row := x.Row(i - 1) // PWM is 0-based
-		out := a.pstar[i*w+1 : i*w+m+1]
-		for j, yj := range y {
+		out := a.pstar[i*w+lo : i*w+hi+1]
+		for jj := range out {
+			yj := y[lo-1+jj]
 			if yj.IsConcrete() {
 				mr := &a.params.Match[yj]
-				out[j] = row[dna.A]*mr[dna.A] + row[dna.C]*mr[dna.C] + row[dna.G]*mr[dna.G] + row[dna.T]*mr[dna.T]
+				out[jj] = row[dna.A]*mr[dna.A] + row[dna.C]*mr[dna.C] + row[dna.G]*mr[dna.G] + row[dna.T]*mr[dna.T]
 			} else {
-				out[j] = row[dna.A]*a.mean[dna.A] + row[dna.C]*a.mean[dna.C] + row[dna.G]*a.mean[dna.G] + row[dna.T]*a.mean[dna.T]
+				out[jj] = row[dna.A]*a.mean[dna.A] + row[dna.C]*a.mean[dna.C] + row[dna.G]*a.mean[dna.G] + row[dna.T]*a.mean[dna.T]
 			}
 		}
 	}
 }
 
-// forward fills the scaled forward matrices and a.scale.
+// forward fills the scaled forward matrices and a.scale over the band.
 func (a *Aligner) forward(n, m int) error {
 	p := a.params
 	w := m + 1
 	a.scale[0] = 1
 	fM, fX, fY, ps := a.fM, a.fX, a.fY, a.pstar
-	// Initialize the border cells this pass reads: row 0 fully, and
-	// column 0 of every row (the recursion reads (i-1, j-1) and
-	// (i, j-1) at j = 1).
-	for j := 0; j <= m; j++ {
+	// Initialize the row-0 border cells row 1 reads: columns
+	// [lo(1)-1, hi(1)] (the recursion reads (0, j-1) and (0, j)).
+	lo1, hi1 := a.rowBounds(1, m)
+	for j := lo1 - 1; j <= hi1; j++ {
 		fM[j], fX[j], fY[j] = 0, 0, 0
 	}
 	if a.mode == Global {
 		fM[0] = 1 // virtual begin at (0,0)
-	}
-	for i := 1; i <= n; i++ {
-		fM[i*w], fX[i*w], fY[i*w] = 0, 0, 0
 	}
 	entry := 0.0
 	if a.mode == SemiGlobal {
@@ -164,14 +265,23 @@ func (a *Aligner) forward(n, m int) error {
 		entry = 1
 	}
 	for i := 1; i <= n; i++ {
+		lo, hi := a.rowBounds(i, m)
+		if lo > hi {
+			// The band slid off the DP rectangle: no admissible path.
+			return ErrNoAlignment
+		}
 		prev := (i - 1) * w
 		cur := i * w
+		// Left guard: the GY recursion reads (i, lo-1), and row i+1
+		// reads (i, lo(i+1)-1) which is at least lo-1. (At lo == 1
+		// this is the column-0 border the full kernel zeroes.)
+		fM[cur+lo-1], fX[cur+lo-1], fY[cur+lo-1] = 0, 0, 0
 		rowSum := 0.0
 		rowEntry := 0.0
 		if i == 1 {
 			rowEntry = entry
 		}
-		for j := 1; j <= m; j++ {
+		for j := lo; j <= hi; j++ {
 			// Match: all predecessors at (i-1, j-1).
 			mm := p.TMM*fM[prev+j-1] + p.TGM*(fX[prev+j-1]+fY[prev+j-1]) + rowEntry
 			fm := ps[cur+j] * mm
@@ -193,45 +303,58 @@ func (a *Aligner) forward(n, m int) error {
 		}
 		a.scale[i] = rowSum
 		inv := 1 / rowSum
-		for j := 1; j <= m; j++ {
+		for j := lo; j <= hi; j++ {
 			fM[cur+j] *= inv
 			fX[cur+j] *= inv
 			fY[cur+j] *= inv
+		}
+		// Right guard: row i+1's band may extend one column past hi
+		// and read (i, hi+1); out-of-band means zero.
+		if hi < m {
+			fM[cur+hi+1], fX[cur+hi+1], fY[cur+hi+1] = 0, 0, 0
 		}
 	}
 	return nil
 }
 
 // terminalSum returns the scaled-space total likelihood: the sum over
-// terminal cells admitted by the mode.
+// terminal cells admitted by the mode (and the band).
 func (a *Aligner) terminalSum(n, m int) float64 {
 	w := m + 1
 	last := n * w
+	lo, hi := a.rowBounds(n, m)
 	if a.mode == Global {
+		if hi != m {
+			// The terminal cell (n, m) is outside the band.
+			return 0
+		}
 		return a.fM[last+m] + a.fX[last+m] + a.fY[last+m]
 	}
 	// SemiGlobal: read fully consumed, trailing genome free. Terminal
 	// states are M and GX at any column (a terminal GY would be a paid
 	// deletion followed by free bases — pointless, excluded).
 	sum := 0.0
-	for j := 1; j <= m; j++ {
+	for j := lo; j <= hi; j++ {
 		sum += a.fM[last+j] + a.fX[last+j]
 	}
 	return sum
 }
 
-// backward fills the backward matrices, scaled with the forward row
-// scales so that posterior(i,j) = f(i,j)·b(i,j)/lScaled directly.
+// backward fills the backward matrices over the band, scaled with the
+// forward row scales so that posterior(i,j) = f(i,j)·b(i,j)/lScaled
+// directly.
 func (a *Aligner) backward(n, m int) {
 	p := a.params
 	w := m + 1
 	lastRow := n * w
 	bM, bX, bY, ps := a.bM, a.bX, a.bY, a.pstar
+	lon, hin := a.rowBounds(n, m)
 	// Terminal conditions on row n. Every row-n cell this pass (or the
 	// posterior accessors) reads is set explicitly here, including the
 	// zeros — buffers are reused across alignments.
 	if a.mode == Global {
-		for j := 1; j < m; j++ {
+		// terminalSum already required hin == m here.
+		for j := lon; j < m; j++ {
 			bM[lastRow+j], bX[lastRow+j], bY[lastRow+j] = 0, 0, 0
 		}
 		bM[lastRow+m] = 1
@@ -240,28 +363,42 @@ func (a *Aligner) backward(n, m int) {
 		// Row n, right-to-left: trailing genome bases must still be
 		// consumed through GY (no GX→GY transition exists, so bX
 		// stays 0 left of column m).
-		for j := m - 1; j >= 1; j-- {
+		for j := m - 1; j >= lon; j-- {
 			bY[lastRow+j] = p.TGG * p.Q * bY[lastRow+j+1]
 			bM[lastRow+j] = p.TMG * p.Q * bY[lastRow+j+1]
 		}
 	} else {
-		for j := 1; j <= m; j++ {
+		for j := lon; j <= hin; j++ {
 			bM[lastRow+j] = 1
 			bX[lastRow+j] = 1
 			// GY is not a terminal state in SemiGlobal.
 			bY[lastRow+j] = 0
 		}
 	}
+	// Row-n band guards for row n-1's reads at (n, lo(n-1)..hi(n-1)+1).
+	bM[lastRow+lon-1], bX[lastRow+lon-1], bY[lastRow+lon-1] = 0, 0, 0
+	if hin < m {
+		bM[lastRow+hin+1], bX[lastRow+hin+1], bY[lastRow+hin+1] = 0, 0, 0
+	}
 	for i := n - 1; i >= 1; i-- {
+		lo, hi := a.rowBounds(i, m)
 		cur := i * w
 		next := (i + 1) * w
 		invS := 1 / a.scale[i+1]
-		// Column m has no diagonal or GY continuation.
-		bxm := bX[next+m] * invS
-		bM[cur+m] = p.TMG * p.Q * bxm
-		bX[cur+m] = p.TGG * p.Q * bxm
-		bY[cur+m] = 0
-		for j := m - 1; j >= 1; j-- {
+		start := hi
+		if hi == m {
+			// Column m has no diagonal or GY continuation.
+			bxm := bX[next+m] * invS
+			bM[cur+m] = p.TMG * p.Q * bxm
+			bX[cur+m] = p.TGG * p.Q * bxm
+			bY[cur+m] = 0
+			start = m - 1
+		} else {
+			// Right guard: this row's GY term reads (i, hi+1), and row
+			// i-1 may read it too; out-of-band means zero.
+			bM[cur+hi+1], bX[cur+hi+1], bY[cur+hi+1] = 0, 0, 0
+		}
+		for j := start; j >= lo; j-- {
 			diag := ps[next+j+1] * bM[next+j+1] * invS // through M at (i+1, j+1)
 			bx := bX[next+j] * invS                    // through GX at (i+1, j)
 			by := bY[cur+j+1]                          // through GY at (i, j+1), same row
@@ -269,13 +406,19 @@ func (a *Aligner) backward(n, m int) {
 			bX[cur+j] = p.TGM*diag + p.TGG*p.Q*bx
 			bY[cur+j] = p.TGM*diag + p.TGG*p.Q*by
 		}
+		// Left guard for row i-1's reads at (i, lo(i-1)..).
+		bM[cur+lo-1], bX[cur+lo-1], bY[cur+lo-1] = 0, 0, 0
 	}
 }
 
 // PostMatch returns the posterior probability that read base i is
 // aligned to window base j (both 1-based), marginalized over all
 // alignments: P(x_i ◇ y_j | x, y) = f_M(i,j)·b_M(i,j)/P(x,y).
+// Out-of-band cells of a banded run carry no posterior mass.
 func (r *Result) PostMatch(i, j int) float64 {
+	if !r.inBand(i, j) {
+		return 0
+	}
 	idx := i*(r.M+1) + j
 	return r.a.fM[idx] * r.a.bM[idx] / r.lScaled
 }
@@ -284,6 +427,9 @@ func (r *Result) PostMatch(i, j int) float64 {
 // aligned to a gap between window bases j and j+1 (an insertion in the
 // read): P(x_i ◇ G_j | x, y).
 func (r *Result) PostGapX(i, j int) float64 {
+	if !r.inBand(i, j) {
+		return 0
+	}
 	idx := i*(r.M+1) + j
 	return r.a.fX[idx] * r.a.bX[idx] / r.lScaled
 }
@@ -292,6 +438,9 @@ func (r *Result) PostGapX(i, j int) float64 {
 // aligned to a gap between read bases i and i+1 (a deletion in the
 // read): P(y_j ◇ G_i | x, y).
 func (r *Result) PostGapY(i, j int) float64 {
+	if !r.inBand(i, j) {
+		return 0
+	}
 	idx := i*(r.M+1) + j
 	return r.a.fY[idx] * r.a.bY[idx] / r.lScaled
 }
@@ -357,8 +506,8 @@ func (r *Result) Contribution(j int, attr Attribution) (z [dna.NumChannels]float
 // ContributionsInto fills dst[j-1] with the normalized z-vector for
 // every window position j and totals[j-1] with its unnormalized mass —
 // equivalent to calling Contribution for every j but in one row-major
-// sweep over the posterior matrices (the mapper's hot path). dst and
-// totals must have length M.
+// sweep over the in-band posterior cells (the mapper's hot path). dst
+// and totals must have length M.
 func (r *Result) ContributionsInto(attr Attribution, dst [][dna.NumChannels]float64, totals []float64) error {
 	if len(dst) != r.M || len(totals) != r.M {
 		return fmt.Errorf("phmm: ContributionsInto needs length %d, got %d/%d", r.M, len(dst), len(totals))
@@ -370,6 +519,7 @@ func (r *Result) ContributionsInto(attr Attribution, dst [][dna.NumChannels]floa
 	inv := 1 / r.lScaled
 	fM, bM, fY, bY := r.a.fM, r.a.bM, r.a.fY, r.a.bY
 	for i := 1; i <= r.N; i++ {
+		lo, hi := r.rowBounds(i)
 		base := i * w
 		var row [dna.NumBases]float64
 		var call dna.Code
@@ -378,7 +528,7 @@ func (r *Result) ContributionsInto(attr Attribution, dst [][dna.NumChannels]floa
 		} else {
 			call = r.x.Call(i - 1)
 		}
-		for j := 1; j <= r.M; j++ {
+		for j := lo; j <= hi; j++ {
 			pm := fM[base+j] * bM[base+j] * inv
 			if pm > 0 {
 				z := &dst[j-1]

@@ -88,3 +88,64 @@ func BenchmarkContributions62(b *testing.B) {
 		}
 	}
 }
+
+// benchBand is the engine's auto band at the default Pad=8.
+const benchBand = 18
+
+func BenchmarkAlignBandedSemiGlobal62(b *testing.B) {
+	p, window := benchInputs(b)
+	a, err := NewAligner(DefaultParams(), SemiGlobal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AlignBanded(p.Matrix, window, 8, benchBand); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerCell(b, 62, len(window), 8, benchBand)
+}
+
+// BenchmarkAlignBandedFullWidth62 runs the banded code path with a band
+// covering the whole window — the overhead of band bookkeeping relative
+// to BenchmarkAlignSemiGlobal62 is the price of the unified kernel.
+func BenchmarkAlignBandedFullWidth62(b *testing.B) {
+	p, window := benchInputs(b)
+	a, err := NewAligner(DefaultParams(), SemiGlobal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AlignBanded(p.Matrix, window, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerCell(b, 62, len(window), 0, 0)
+}
+
+func BenchmarkViterbiBanded62(b *testing.B) {
+	p, window := benchInputs(b)
+	a, err := NewAligner(DefaultParams(), SemiGlobal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.ViterbiBanded(p.Matrix, window, 8, benchBand); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerCell(b, 62, len(window), 8, benchBand)
+}
+
+// reportPerCell adds a ns/cell metric so banded and full runs are
+// comparable per unit of DP work.
+func reportPerCell(b *testing.B, n, m, diag, band int) {
+	cells := BandCells(n, m, diag, band)
+	if cells == 0 {
+		return
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cells), "ns/cell")
+}

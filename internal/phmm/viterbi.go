@@ -34,7 +34,9 @@ func (o Op) String() string {
 	}
 }
 
-// Path is a single highest-probability alignment.
+// Path is a single highest-probability alignment. Paths returned by
+// Viterbi are views into the Aligner's buffers: valid only until the
+// next Viterbi call on the same Aligner.
 type Path struct {
 	// LogProb is the natural-log probability of the path.
 	LogProb float64
@@ -78,17 +80,29 @@ const (
 )
 
 // Viterbi computes the single most probable alignment of x against y
-// under the aligner's mode, in log space (no scaling needed). It shares
-// the Aligner's buffer discipline: one concurrent call per Aligner.
+// under the aligner's mode, in log space (no scaling needed) over the
+// full DP rectangle. It shares the Aligner's buffer discipline: one
+// concurrent call per Aligner, and the returned Path is invalidated by
+// the next Viterbi call.
 //
 // Viterbi is used by the single-best-path ablation and by callers that
 // need a concrete CIGAR; the mapper itself uses the forward-backward
 // marginal (Align), which is the paper's core methodological point.
 func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
+	return a.ViterbiBanded(x, y, 0, 0)
+}
+
+// ViterbiBanded is Viterbi restricted to a diagonal band, with the same
+// band semantics as AlignBanded: only cells with |j - i - diag| <=
+// band/2 are computed, and band <= 0 reproduces Viterbi exactly.
+func (a *Aligner) ViterbiBanded(x *pwm.Matrix, y dna.Seq, diag, band int) (*Path, error) {
 	n, m := x.Len(), len(y)
 	if n == 0 || m == 0 {
 		return nil, fmt.Errorf("phmm: empty read (%d) or window (%d)", n, m)
 	}
+	a.banded = band > 0
+	a.diag = diag
+	a.radius = band / 2
 	p := a.params
 	w := m + 1
 	size := (n + 1) * w
@@ -97,26 +111,34 @@ func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
 	}
 	a.pstar = a.pstar[:size]
 	a.fillEmissions(x, y, n, m)
-	vM := make([]float64, size)
-	vX := make([]float64, size)
-	vY := make([]float64, size)
-	ptrM := make([]viterbiState, size)
-	ptrX := make([]viterbiState, size)
-	ptrY := make([]viterbiState, size)
+	a.resizeViterbi(size)
+	vM, vX, vY := a.vM, a.vX, a.vY
+	ptrM, ptrX, ptrY := a.ptrM, a.ptrX, a.ptrY
 	negInf := math.Inf(-1)
-	for i := range vM {
-		vM[i], vX[i], vY[i] = negInf, negInf, negInf
-	}
 	logTMM, logTMG := math.Log(p.TMM), math.Log(p.TMG)
 	logTGM, logTGG := math.Log(p.TGM), math.Log(p.TGG)
 	logQ := math.Log(p.Q)
 
+	// Row-0 border over the cells row 1 reads. Every in-band cell is
+	// written unconditionally below, so no bulk -Inf fill is needed —
+	// only the borders and per-row band guards (mirroring forward's
+	// zero guards, with -Inf as the additive identity).
+	lo1, hi1 := a.rowBounds(1, m)
+	for j := lo1 - 1; j <= hi1; j++ {
+		vM[j], vX[j], vY[j] = negInf, negInf, negInf
+	}
 	if a.mode == Global {
 		vM[0] = 0 // virtual begin
 	}
 	for i := 1; i <= n; i++ {
+		lo, hi := a.rowBounds(i, m)
+		if lo > hi {
+			return nil, ErrNoAlignment
+		}
 		prev, cur := (i-1)*w, i*w
-		for j := 1; j <= m; j++ {
+		// Left guard (same role as forward's).
+		vM[cur+lo-1], vX[cur+lo-1], vY[cur+lo-1] = negInf, negInf, negInf
+		for j := lo; j <= hi; j++ {
 			lps := math.Log(a.pstar[cur+j])
 			// M state.
 			best, from := negInf, stNone
@@ -136,6 +158,8 @@ func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
 			if from != stNone {
 				vM[cur+j] = lps + best
 				ptrM[cur+j] = from
+			} else {
+				vM[cur+j] = negInf
 			}
 			// GX state.
 			best, from = negInf, stNone
@@ -148,6 +172,8 @@ func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
 			if from != stNone {
 				vX[cur+j] = logQ + best
 				ptrX[cur+j] = from
+			} else {
+				vX[cur+j] = negInf
 			}
 			// GY state.
 			best, from = negInf, stNone
@@ -160,15 +186,25 @@ func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
 			if from != stNone {
 				vY[cur+j] = logQ + best
 				ptrY[cur+j] = from
+			} else {
+				vY[cur+j] = negInf
 			}
+		}
+		// Right guard.
+		if hi < m {
+			vM[cur+hi+1], vX[cur+hi+1], vY[cur+hi+1] = negInf, negInf, negInf
 		}
 	}
 	// Pick the terminal cell.
 	last := n * w
+	lon, hin := a.rowBounds(n, m)
 	bestScore, bestJ, bestState := negInf, 0, stNone
 	if a.mode == Global {
+		if hin != m {
+			return nil, ErrNoAlignment
+		}
 		bestJ = m
-		for _, s := range []struct {
+		for _, s := range [...]struct {
 			v  float64
 			st viterbiState
 		}{{vM[last+m], stM}, {vX[last+m], stX}, {vY[last+m], stY}} {
@@ -177,7 +213,7 @@ func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
 			}
 		}
 	} else {
-		for j := 1; j <= m; j++ {
+		for j := lon; j <= hin; j++ {
 			if vM[last+j] > bestScore {
 				bestScore, bestJ, bestState = vM[last+j], j, stM
 			}
@@ -190,7 +226,7 @@ func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
 		return nil, ErrNoAlignment
 	}
 	// Traceback.
-	var rev []Op
+	rev := a.opsRev[:0]
 	i, j, st := n, bestJ, bestState
 	for {
 		var from viterbiState
@@ -212,15 +248,40 @@ func (a *Aligner) Viterbi(x *pwm.Matrix, y dna.Seq) (*Path, error) {
 			break
 		}
 		if i < 0 || j < 0 {
+			a.opsRev = rev
 			return nil, fmt.Errorf("phmm: viterbi traceback escaped the matrix at (%d,%d)", i, j)
 		}
 		st = from
 	}
-	// Reverse ops.
-	ops := make([]Op, len(rev))
+	a.opsRev = rev
+	// Reverse ops into the reusable output slice.
+	if cap(a.ops) < len(rev) {
+		a.ops = make([]Op, len(rev))
+	}
+	ops := a.ops[:len(rev)]
 	for k := range rev {
 		ops[k] = rev[len(rev)-1-k]
 	}
 	start := j + 1
-	return &Path{LogProb: bestScore, Start: start, End: bestJ, Ops: ops}, nil
+	a.path = Path{LogProb: bestScore, Start: start, End: bestJ, Ops: ops}
+	return &a.path, nil
+}
+
+// resizeViterbi grows the Viterbi DP buffers without clearing them; the
+// banded sweep writes every cell it later reads.
+func (a *Aligner) resizeViterbi(size int) {
+	if cap(a.vM) < size {
+		a.vM = make([]float64, size)
+		a.vX = make([]float64, size)
+		a.vY = make([]float64, size)
+		a.ptrM = make([]viterbiState, size)
+		a.ptrX = make([]viterbiState, size)
+		a.ptrY = make([]viterbiState, size)
+	}
+	a.vM = a.vM[:size]
+	a.vX = a.vX[:size]
+	a.vY = a.vY[:size]
+	a.ptrM = a.ptrM[:size]
+	a.ptrX = a.ptrX[:size]
+	a.ptrY = a.ptrY[:size]
 }

@@ -33,13 +33,22 @@ type Matrix struct {
 // evenly (the standard uniform-error channel assumption). An ambiguous
 // N becomes the uniform vector regardless of its quality value.
 func FromRead(r *fastq.Read) (*Matrix, error) {
-	if err := r.Validate(); err != nil {
+	m := &Matrix{}
+	if err := m.FillFromRead(r); err != nil {
 		return nil, err
 	}
-	m := &Matrix{
-		rows:  make([][dna.NumBases]float64, len(r.Seq)),
-		calls: r.Seq.Clone(),
+	return m, nil
+}
+
+// FillFromRead is FromRead into an existing Matrix, reusing its
+// storage — the mapper's per-read hot path, which must not allocate in
+// steady state.
+func (m *Matrix) FillFromRead(r *fastq.Read) error {
+	if err := r.Validate(); err != nil {
+		return err
 	}
+	m.reset(len(r.Seq))
+	copy(m.calls, r.Seq)
 	for i, b := range r.Seq {
 		if !b.IsConcrete() {
 			for k := 0; k < dna.NumBases; k++ {
@@ -56,7 +65,7 @@ func FromRead(r *fastq.Read) (*Matrix, error) {
 			}
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // FromSeqUniformError builds a PWM from a bare sequence with a single
@@ -64,13 +73,21 @@ func FromRead(r *fastq.Read) (*Matrix, error) {
 // the ablation that disables quality weighting (e=0 reproduces the
 // classical one-hot emission).
 func FromSeqUniformError(s dna.Seq, e float64) (*Matrix, error) {
+	m := &Matrix{}
+	if err := m.FillSeqUniformError(s, e); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FillSeqUniformError is FromSeqUniformError into an existing Matrix,
+// reusing its storage.
+func (m *Matrix) FillSeqUniformError(s dna.Seq, e float64) error {
 	if e < 0 || e >= 1 {
-		return nil, fmt.Errorf("pwm: error probability %g out of [0,1)", e)
+		return fmt.Errorf("pwm: error probability %g out of [0,1)", e)
 	}
-	m := &Matrix{
-		rows:  make([][dna.NumBases]float64, len(s)),
-		calls: s.Clone(),
-	}
+	m.reset(len(s))
+	copy(m.calls, s)
 	for i, b := range s {
 		if !b.IsConcrete() {
 			for k := 0; k < dna.NumBases; k++ {
@@ -86,7 +103,17 @@ func FromSeqUniformError(s dna.Seq, e float64) (*Matrix, error) {
 			}
 		}
 	}
-	return m, nil
+	return nil
+}
+
+// reset sizes the matrix to n positions, reusing backing arrays.
+func (m *Matrix) reset(n int) {
+	if cap(m.rows) < n {
+		m.rows = make([][dna.NumBases]float64, n)
+		m.calls = make(dna.Seq, n)
+	}
+	m.rows = m.rows[:n]
+	m.calls = m.calls[:n]
 }
 
 // Len returns the number of positions.
@@ -113,17 +140,22 @@ func (m *Matrix) Calls() dna.Seq { return m.calls }
 // positions reversed and base weights swapped A<->T, C<->G. Mapping a
 // read to the minus strand uses this matrix against the forward genome.
 func (m *Matrix) ReverseComplement() *Matrix {
-	n := len(m.rows)
-	out := &Matrix{
-		rows:  make([][dna.NumBases]float64, n),
-		calls: m.calls.ReverseComplement(),
-	}
-	for i := 0; i < n; i++ {
-		src := m.rows[n-1-i]
-		out.rows[i][dna.A] = src[dna.T]
-		out.rows[i][dna.T] = src[dna.A]
-		out.rows[i][dna.C] = src[dna.G]
-		out.rows[i][dna.G] = src[dna.C]
-	}
+	out := &Matrix{}
+	out.FillReverseComplementOf(m)
 	return out
+}
+
+// FillReverseComplementOf is ReverseComplement into an existing Matrix
+// (which must not be src itself), reusing its storage.
+func (m *Matrix) FillReverseComplementOf(src *Matrix) {
+	n := len(src.rows)
+	m.reset(n)
+	for i := 0; i < n; i++ {
+		r := src.rows[n-1-i]
+		m.rows[i][dna.A] = r[dna.T]
+		m.rows[i][dna.T] = r[dna.A]
+		m.rows[i][dna.C] = r[dna.G]
+		m.rows[i][dna.G] = r[dna.C]
+		m.calls[i] = src.calls[n-1-i].Complement()
+	}
 }

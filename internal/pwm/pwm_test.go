@@ -166,3 +166,53 @@ func TestProbNonConcrete(t *testing.T) {
 		t.Error("Prob of N must be 0")
 	}
 }
+
+// TestFillReuseMatchesAllocating: the in-place Fill* methods must
+// reproduce their allocating wrappers and reuse storage across calls of
+// varying length without leaking previous state.
+func TestFillReuseMatchesAllocating(t *testing.T) {
+	var m, rc Matrix
+	seqs := []string{"ACGTACGTAC", "TTNAC", "GGGGCCCCAAAATTTT", "AT"}
+	for _, s := range seqs {
+		qual := make([]uint8, len(s))
+		for i := range qual {
+			qual[i] = uint8(10 + 3*i)
+		}
+		rd := newRead(t, s, qual...)
+		want, err := FromRead(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FillFromRead(rd); err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() != want.Len() {
+			t.Fatalf("%q: Len %d vs %d", s, m.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if m.Row(i) != want.Row(i) || m.Call(i) != want.Call(i) {
+				t.Fatalf("%q pos %d: fill %v/%v vs alloc %v/%v",
+					s, i, m.Row(i), m.Call(i), want.Row(i), want.Call(i))
+			}
+		}
+		wantRC := want.ReverseComplement()
+		rc.FillReverseComplementOf(&m)
+		for i := 0; i < wantRC.Len(); i++ {
+			if rc.Row(i) != wantRC.Row(i) || rc.Call(i) != wantRC.Call(i) {
+				t.Fatalf("%q rc pos %d: fill %v/%v vs alloc %v/%v",
+					s, i, rc.Row(i), rc.Call(i), wantRC.Row(i), wantRC.Call(i))
+			}
+		}
+	}
+	// Warm matrices must not allocate on refill.
+	rd := newRead(t, "ACGTACGTAC", 20, 20, 20, 20, 20, 20, 20, 20, 20, 20)
+	avg := testing.AllocsPerRun(20, func() {
+		if err := m.FillFromRead(rd); err != nil {
+			t.Fatal(err)
+		}
+		rc.FillReverseComplementOf(&m)
+	})
+	if avg > 0 {
+		t.Errorf("warm Fill methods allocate %.1f/op, want 0", avg)
+	}
+}
