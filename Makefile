@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-phmm check
+.PHONY: build test race vet bench bench-phmm chaos check
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,11 @@ bench:
 # Machine-readable kernel trajectory (writes BENCH_phmm.json).
 bench-phmm:
 	$(GO) run ./cmd/snpbench -exp phmm
+
+# Fault-tolerance gate: seeded chaos collectives, crash/heartbeat
+# detection, TCP hardening, and degraded-mode read-split — all
+# deterministic (fixed seeds live in the tests) and race-checked.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Crash|Heartbeat|RecvPatient|Degraded|FTMatches|Dial|Frame|Hardening|Timeout' ./internal/cluster/ ./internal/core/
 
 check: build vet test race

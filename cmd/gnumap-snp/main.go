@@ -6,11 +6,15 @@
 //
 //	gnumap-snp -ref reference.fa -reads reads.fq -o calls.vcf \
 //	    [-diploid] [-alpha 0.05] [-fdr] [-memory norm|chardisc|centdisc] \
-//	    [-workers N] [-nodes N -split read|genome [-tcp]]
+//	    [-workers N] [-nodes N -split read|genome [-tcp]] \
+//	    [-op-timeout 5s] [-heartbeat 100ms] [-chaos seed=42,drop=0.01]
 //
 // With -nodes > 1 the run executes on a simulated message-passing
 // cluster (goroutine nodes; -tcp switches to loopback TCP), using the
-// paper's read-split or genome-split strategy.
+// paper's read-split or genome-split strategy. -op-timeout bounds every
+// cluster operation (and, in read-split mode, enables shard
+// reassignment when a worker dies); -heartbeat tunes failure detection;
+// -chaos injects deterministic faults for resilience testing.
 package main
 
 import (
@@ -44,6 +48,9 @@ func main() {
 		nodes     = flag.Int("nodes", 1, "simulated cluster size (1 = single process)")
 		split     = flag.String("split", "read", "cluster strategy: read (replicate genome) or genome (partition genome)")
 		tcp       = flag.Bool("tcp", false, "use loopback TCP between simulated nodes")
+		opTimeout = flag.Duration("op-timeout", 0, "cluster per-operation deadline; >0 also enables read-split shard reassignment on worker death (0 = block forever)")
+		heartbeat = flag.Duration("heartbeat", 0, "cluster heartbeat period for failure detection (0 = auto when -op-timeout is set)")
+		chaos     = flag.String("chaos", "", "deterministic fault injection spec, e.g. seed=42,drop=0.02,dup=0.01,crash=2@100")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
@@ -102,9 +109,26 @@ func main() {
 		if *tcp {
 			transport = gnumap.TCP
 		}
+		opts.Cluster.OpTimeout = *opTimeout
+		opts.Cluster.Heartbeat = *heartbeat
+		if *opTimeout > 0 && *heartbeat == 0 {
+			// Failure detection needs heartbeats; derive a period well
+			// inside the deadline so slow ranks are not declared dead.
+			opts.Cluster.Heartbeat = *opTimeout / 10
+		}
+		if *chaos != "" {
+			fc, err := gnumap.ParseChaosSpec(*chaos)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Cluster.Fault = &fc
+		}
 		calls, stats, err = gnumap.RunCluster(*nodes, transport, splitMode, reference, reads, opts)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if stats.Degraded() {
+			fmt.Fprintf(os.Stderr, "WARNING: degraded run — lost rank(s) %v; their read shards were reassigned to survivors\n", stats.LostRanks)
 		}
 	} else {
 		p, err := gnumap.NewPipeline(reference, opts)

@@ -20,6 +20,7 @@ package gnumap
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"gnumap/internal/baseline"
 	"gnumap/internal/cluster"
@@ -99,6 +100,34 @@ type Options struct {
 	Memory MemoryMode
 	// Caller tunes SNP calling; zero value = monoploid, α = 0.05.
 	Caller CallerConfig
+	// Cluster tunes the fault model of simulated-cluster runs (op
+	// deadlines, heartbeat failure detection, chaos injection). The
+	// zero value keeps the historical block-forever behavior.
+	Cluster ClusterConfig
+}
+
+// ClusterConfig is the fault model for RunCluster: operation deadlines,
+// heartbeat failure detection, and optional deterministic fault
+// injection.
+type ClusterConfig struct {
+	// OpTimeout bounds every cluster Send/Recv/collective; in read-split
+	// mode it also switches to the fault-tolerant coordinator protocol
+	// that reassigns a dead worker's read shard (0 = off).
+	OpTimeout time.Duration
+	// Heartbeat enables the failure detector at this period (0 = off).
+	Heartbeat time.Duration
+	// Fault, when non-nil, injects deterministic chaos (drops, dups,
+	// delays, reorders, rank crashes) from a seeded RNG.
+	Fault *FaultConfig
+}
+
+// FaultConfig parameterizes deterministic fault injection.
+type FaultConfig = cluster.FaultConfig
+
+// ParseChaosSpec parses a -chaos CLI spec like
+// "seed=42,drop=0.02,dup=0.01,crash=2@100" into a FaultConfig.
+func ParseChaosSpec(spec string) (FaultConfig, error) {
+	return cluster.ParseFaultSpec(spec)
 }
 
 // Pipeline is a reference plus mapping and calling state: build one,
@@ -509,7 +538,13 @@ func RunCluster(nodes int, transport Transport, mode SplitMode,
 	collect := make([][]SNPCall, nodes)
 	statsCh := make(chan MapStats, nodes)
 
-	err = cluster.Run(nodes, transport, func(c *cluster.Comm) error {
+	runCfg := cluster.RunConfig{
+		Kind:      transport,
+		OpTimeout: opts.Cluster.OpTimeout,
+		Heartbeat: opts.Cluster.Heartbeat,
+		Fault:     opts.Cluster.Fault,
+	}
+	err = cluster.RunWithConfig(nodes, runCfg, func(c *cluster.Comm) error {
 		switch mode {
 		case ReadSplit:
 			acc, st, err := core.RunReadSplit(c, ref, reads, opts.Memory, opts.Engine)

@@ -19,13 +19,29 @@
 // The programming model is SPMD, as with MPI: Run launches one copy of
 // the node function per rank, and every rank must execute the same
 // sequence of collective operations.
+//
+// # Fault tolerance
+//
+// RunWithConfig layers a fault model on top: an op timeout turns every
+// blocking Send/Recv/collective into a bounded wait that fails with a
+// typed *RankError instead of deadlocking; a heartbeat interval starts
+// a per-rank heartbeater feeding a last-seen failure detector
+// (Alive/DeadRanks); and a FaultConfig wraps the transport in a seeded
+// FaultTransport injecting drops, duplicates, delays, reorders, and
+// rank crashes. A node function returning an error wrapping ErrCrashed
+// is treated as a simulated process death: the run continues without it
+// rather than tearing the transport down, so coordinators can detect
+// the loss and degrade gracefully.
 package cluster
 
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 func init() {
@@ -50,16 +66,46 @@ type packet struct {
 	Data []byte
 }
 
+// hbTag marks heartbeat packets. It sits far below any collective tag
+// (collectives count down from -1) so the two can never collide; recv
+// consumes heartbeats as liveness evidence instead of queueing them.
+const hbTag = -1 << 30
+
+// maxPending bounds the out-of-order pending queue; beyond it the
+// receiver is matching against tags that will never arrive (or a
+// duplication storm is underway) and failing beats exhausting memory.
+const maxPending = 1 << 16
+
 // Transport moves packets between ranks.
 type Transport interface {
 	// Send delivers a packet from rank `from` to rank `to`. It may
-	// block for backpressure but must not drop packets.
-	Send(from, to int, p packet) error
-	// Inbox returns the receive channel of a rank. The transport
-	// closes it on shutdown.
+	// block for backpressure but must not drop packets (fault-injecting
+	// decorators excepted). A timeout > 0 bounds the blocking; 0 means
+	// wait indefinitely.
+	Send(from, to int, p packet, timeout time.Duration) error
+	// Inbox returns the receive channel of a rank.
 	Inbox(rank int) <-chan packet
+	// Done is closed when the transport shuts down; receivers select
+	// on it alongside their inbox. Inboxes with concurrent senders
+	// cannot be closed safely, so shutdown is signalled here instead.
+	Done() <-chan struct{}
 	// Close tears the transport down, unblocking all receivers.
 	Close() error
+}
+
+// CommStats is a snapshot of one rank's communication counters.
+type CommStats struct {
+	// SentTo / RecvFrom count data packets exchanged with each peer
+	// rank (heartbeats excluded from RecvFrom's matching but counted
+	// in HeartbeatsSeen).
+	SentTo, RecvFrom []int64
+	// Retries counts deadline-extension rounds granted because the
+	// peer's heartbeats showed it alive.
+	Retries int64
+	// Timeouts counts operations that failed with ErrTimeout.
+	Timeouts int64
+	// HeartbeatsSent / HeartbeatsSeen count heartbeat traffic.
+	HeartbeatsSent, HeartbeatsSeen int64
 }
 
 // Comm is one rank's endpoint, analogous to an MPI communicator.
@@ -73,6 +119,41 @@ type Comm struct {
 	// collectives cannot cross-match; SPMD execution keeps it in sync
 	// across ranks.
 	collSeq int
+
+	// opTimeout bounds every blocking operation (0 = wait forever).
+	opTimeout time.Duration
+	// hbInterval is the heartbeat period (0 = no failure detection).
+	hbInterval time.Duration
+	// lastSeen[r] is the unix-nano arrival time of the latest packet
+	// from rank r (heartbeat or data). Written from the recv path and
+	// the heartbeater's start; atomic for safety.
+	lastSeen []atomic.Int64
+	hbStop   chan struct{}
+	hbDone   chan struct{}
+
+	sentTo   []atomic.Int64
+	recvFrom []atomic.Int64
+	retries  atomic.Int64
+	timeouts atomic.Int64
+	hbSent   atomic.Int64
+	hbSeen   atomic.Int64
+}
+
+// newComm builds a rank endpoint with the run's fault-model settings.
+func newComm(rank, size int, tr Transport, opTimeout, hbInterval time.Duration) *Comm {
+	c := &Comm{
+		rank: rank, size: size, tr: tr,
+		opTimeout:  opTimeout,
+		hbInterval: hbInterval,
+		lastSeen:   make([]atomic.Int64, size),
+		sentTo:     make([]atomic.Int64, size),
+		recvFrom:   make([]atomic.Int64, size),
+	}
+	now := time.Now().UnixNano()
+	for r := range c.lastSeen {
+		c.lastSeen[r].Store(now)
+	}
+	return c
 }
 
 // Rank returns this node's rank in [0, Size).
@@ -80,6 +161,100 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.size }
+
+// OpTimeout returns the configured per-operation deadline (0 = none).
+func (c *Comm) OpTimeout() time.Duration { return c.opTimeout }
+
+// HeartbeatInterval returns the heartbeat period (0 = detection off).
+func (c *Comm) HeartbeatInterval() time.Duration { return c.hbInterval }
+
+// Stats snapshots this rank's communication counters.
+func (c *Comm) Stats() CommStats {
+	st := CommStats{
+		SentTo:         make([]int64, c.size),
+		RecvFrom:       make([]int64, c.size),
+		Retries:        c.retries.Load(),
+		Timeouts:       c.timeouts.Load(),
+		HeartbeatsSent: c.hbSent.Load(),
+		HeartbeatsSeen: c.hbSeen.Load(),
+	}
+	for r := 0; r < c.size; r++ {
+		st.SentTo[r] = c.sentTo[r].Load()
+		st.RecvFrom[r] = c.recvFrom[r].Load()
+	}
+	return st
+}
+
+// noteSeen records liveness evidence from rank r.
+func (c *Comm) noteSeen(r int) {
+	if r >= 0 && r < c.size {
+		c.lastSeen[r].Store(time.Now().UnixNano())
+	}
+}
+
+// Alive reports whether rank r's heartbeats (or any traffic) have been
+// seen recently. Without a heartbeat interval there is no evidence
+// either way and every rank is presumed alive.
+func (c *Comm) Alive(r int) bool {
+	if c.hbInterval <= 0 || r == c.rank {
+		return true
+	}
+	staleAfter := 4 * c.hbInterval
+	return time.Now().UnixNano()-c.lastSeen[r].Load() < int64(staleAfter)
+}
+
+// DeadRanks lists peers the failure detector currently considers dead.
+func (c *Comm) DeadRanks() []int {
+	var dead []int
+	for r := 0; r < c.size; r++ {
+		if r != c.rank && !c.Alive(r) {
+			dead = append(dead, r)
+		}
+	}
+	return dead
+}
+
+// startHeartbeat launches the heartbeater; stopHeartbeat must be called
+// before the node function returns.
+func (c *Comm) startHeartbeat() {
+	if c.hbInterval <= 0 || c.size == 1 {
+		return
+	}
+	c.hbStop = make(chan struct{})
+	c.hbDone = make(chan struct{})
+	go func() {
+		defer close(c.hbDone)
+		ticker := time.NewTicker(c.hbInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.hbStop:
+				return
+			case <-ticker.C:
+				for r := 0; r < c.size; r++ {
+					if r == c.rank {
+						continue
+					}
+					// Failures here are the failure detector's business,
+					// not ours: a dead link shows up as missed beats at
+					// the peer.
+					if c.tr.Send(c.rank, r, packet{From: c.rank, Tag: hbTag}, c.hbInterval) == nil {
+						c.hbSent.Add(1)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// stopHeartbeat halts the heartbeater and waits it out.
+func (c *Comm) stopHeartbeat() {
+	if c.hbStop != nil {
+		close(c.hbStop)
+		<-c.hbDone
+		c.hbStop = nil
+	}
+}
 
 // encode gob-serializes a payload (as interface, so concrete type
 // information travels with it).
@@ -105,10 +280,10 @@ func (c *Comm) Send(to, tag int, payload any) error {
 	if tag < 0 {
 		return fmt.Errorf("cluster: negative tags are reserved for collectives")
 	}
-	return c.send(to, tag, payload)
+	return c.send(to, tag, payload, "send")
 }
 
-func (c *Comm) send(to, tag int, payload any) error {
+func (c *Comm) send(to, tag int, payload any, op string) error {
 	if to < 0 || to >= c.size {
 		return fmt.Errorf("cluster: send to rank %d of %d", to, c.size)
 	}
@@ -117,38 +292,133 @@ func (c *Comm) send(to, tag int, payload any) error {
 	}
 	data, err := encode(payload)
 	if err != nil {
-		return err
+		return rankErr(to, op, err)
 	}
-	return c.tr.Send(c.rank, to, packet{From: c.rank, Tag: tag, Data: data})
+	if err := c.tr.Send(c.rank, to, packet{From: c.rank, Tag: tag, Data: data}, c.opTimeout); err != nil {
+		if errors.Is(err, ErrTimeout) {
+			c.timeouts.Add(1)
+		}
+		return rankErr(to, op, err)
+	}
+	c.sentTo[to].Add(1)
+	return nil
 }
 
 // Recv blocks until a message with the given sender and non-negative
-// user tag arrives and returns its payload.
+// user tag arrives and returns its payload. With an op timeout
+// configured, waiting is bounded and failure is a *RankError wrapping
+// ErrTimeout.
 func (c *Comm) Recv(from, tag int) (any, error) {
 	if tag < 0 {
 		return nil, fmt.Errorf("cluster: negative tags are reserved for collectives")
 	}
-	return c.recv(from, tag)
+	return c.recv(from, tag, "recv")
 }
 
-func (c *Comm) recv(from, tag int) (any, error) {
+// RecvTimeout is Recv with an explicit deadline overriding the
+// configured op timeout (0 = wait forever).
+func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) (any, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("cluster: negative tags are reserved for collectives")
+	}
+	return c.recvTimeout(from, tag, timeout, "recv")
+}
+
+func (c *Comm) recv(from, tag int, op string) (any, error) {
+	return c.recvTimeout(from, tag, c.opTimeout, op)
+}
+
+// localCrashed reports whether fault injection has killed this rank:
+// a dead process can neither send nor receive.
+func (c *Comm) localCrashed() bool {
+	if cc, ok := c.tr.(interface{ LocalCrashed(rank int) bool }); ok {
+		return cc.LocalCrashed(c.rank)
+	}
+	return false
+}
+
+// recvTimeout is the matching engine behind every receive: scan the
+// pending queue, then drain the inbox — consuming heartbeats as
+// liveness evidence, queueing non-matching packets (bounded), and
+// returning a typed error on deadline or teardown.
+func (c *Comm) recvTimeout(from, tag int, timeout time.Duration, op string) (any, error) {
 	if from < 0 || from >= c.size {
 		return nil, fmt.Errorf("cluster: recv from rank %d of %d", from, c.size)
+	}
+	if c.localCrashed() {
+		return nil, rankErr(c.rank, op, ErrCrashed)
 	}
 	for i, p := range c.pending {
 		if p.From == from && p.Tag == tag {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
-			return decode(p.Data)
+			c.recvFrom[from].Add(1)
+			v, err := decode(p.Data)
+			return v, rankErr(from, op, err)
 		}
+	}
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
 	}
 	inbox := c.tr.Inbox(c.rank)
-	for p := range inbox {
-		if p.From == from && p.Tag == tag {
-			return decode(p.Data)
+	done := c.tr.Done()
+	for {
+		select {
+		case <-done:
+			return nil, rankErr(from, op, ErrClosed)
+		case p, ok := <-inbox:
+			if !ok {
+				return nil, rankErr(from, op, ErrClosed)
+			}
+			c.noteSeen(p.From)
+			if p.Tag == hbTag {
+				c.hbSeen.Add(1)
+				continue
+			}
+			if p.From == from && p.Tag == tag {
+				c.recvFrom[from].Add(1)
+				v, err := decode(p.Data)
+				return v, rankErr(from, op, err)
+			}
+			if len(c.pending) >= maxPending {
+				return nil, rankErr(from, op, ErrPendingOverflow)
+			}
+			c.pending = append(c.pending, p)
+		case <-timeoutCh:
+			if c.localCrashed() {
+				return nil, rankErr(c.rank, op, ErrCrashed)
+			}
+			c.timeouts.Add(1)
+			return nil, rankErr(from, op, ErrTimeout)
 		}
-		c.pending = append(c.pending, p)
 	}
-	return nil, fmt.Errorf("cluster: rank %d: transport closed while waiting for (from=%d, tag=%d)", c.rank, from, tag)
+}
+
+// RecvPatient receives like RecvTimeout but, when heartbeats are
+// enabled, extends the deadline as long as the peer's heartbeats keep
+// arriving (a slow rank is not a dead rank), up to maxExtensions extra
+// rounds. On giving up it reports ErrRankDead if the detector agrees
+// the peer is gone, ErrTimeout otherwise.
+func (c *Comm) RecvPatient(from, tag int, timeout time.Duration, maxExtensions int) (any, error) {
+	if timeout <= 0 {
+		return c.recvTimeout(from, tag, 0, "recv")
+	}
+	for ext := 0; ; ext++ {
+		v, err := c.recvTimeout(from, tag, timeout, "recv")
+		if err == nil || !errors.Is(err, ErrTimeout) {
+			return v, err
+		}
+		if c.hbInterval > 0 && c.Alive(from) && ext < maxExtensions {
+			c.retries.Add(1)
+			continue
+		}
+		if c.hbInterval > 0 && !c.Alive(from) {
+			return nil, rankErr(from, "recv", ErrRankDead)
+		}
+		return nil, err
+	}
 }
 
 // nextCollTag reserves a fresh negative tag for one collective phase.
@@ -166,21 +436,21 @@ func (c *Comm) Barrier() error {
 	}
 	if c.rank == 0 {
 		for r := 1; r < c.size; r++ {
-			if _, err := c.recv(r, tagUp); err != nil {
+			if _, err := c.recv(r, tagUp, "barrier"); err != nil {
 				return err
 			}
 		}
 		for r := 1; r < c.size; r++ {
-			if err := c.send(r, tagDown, true); err != nil {
+			if err := c.send(r, tagDown, true, "barrier"); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := c.send(0, tagUp, true); err != nil {
+	if err := c.send(0, tagUp, true, "barrier"); err != nil {
 		return err
 	}
-	_, err := c.recv(0, tagDown)
+	_, err := c.recv(0, tagDown, "barrier")
 	return err
 }
 
@@ -199,13 +469,13 @@ func (c *Comm) Broadcast(root int, payload any) (any, error) {
 			if r == root {
 				continue
 			}
-			if err := c.send(r, tag, payload); err != nil {
+			if err := c.send(r, tag, payload, "broadcast"); err != nil {
 				return nil, err
 			}
 		}
 		return payload, nil
 	}
-	return c.recv(root, tag)
+	return c.recv(root, tag, "broadcast")
 }
 
 // Gather collects every rank's payload at root. At root the returned
@@ -222,7 +492,7 @@ func (c *Comm) Gather(root int, payload any) ([]any, error) {
 			if r == root {
 				continue
 			}
-			v, err := c.recv(r, tag)
+			v, err := c.recv(r, tag, "gather")
 			if err != nil {
 				return nil, err
 			}
@@ -230,7 +500,7 @@ func (c *Comm) Gather(root int, payload any) ([]any, error) {
 		}
 		return out, nil
 	}
-	return nil, c.send(root, tag, payload)
+	return nil, c.send(root, tag, payload, "gather")
 }
 
 // Scatter distributes parts[r] from root to each rank r; every rank
@@ -249,13 +519,13 @@ func (c *Comm) Scatter(root int, parts []any) (any, error) {
 			if r == root {
 				continue
 			}
-			if err := c.send(r, tag, parts[r]); err != nil {
+			if err := c.send(r, tag, parts[r], "scatter"); err != nil {
 				return nil, err
 			}
 		}
 		return parts[root], nil
 	}
-	return c.recv(root, tag)
+	return c.recv(root, tag, "scatter")
 }
 
 // ReduceOp folds b into a and returns the result. It must be
@@ -343,38 +613,82 @@ func (k TransportKind) String() string {
 	}
 }
 
+// RunConfig configures a cluster run's transport and fault model.
+type RunConfig struct {
+	// Kind selects the transport (Channels or TCP).
+	Kind TransportKind
+	// OpTimeout bounds every Send/Recv/collective (0 = block forever,
+	// the historical behavior).
+	OpTimeout time.Duration
+	// Heartbeat, when > 0, starts a heartbeater per rank and enables
+	// the Alive/DeadRanks failure detector.
+	Heartbeat time.Duration
+	// Fault, when non-nil, wraps the transport in a FaultTransport
+	// injecting the configured chaos.
+	Fault *FaultConfig
+	// TCP tunes TCP-transport hardening (ignored for Channels).
+	TCP TCPConfig
+}
+
 // Run launches size SPMD node functions and waits for them all. It
 // returns the first error any node produced; when a node fails, the
 // transport is torn down so the remaining nodes unblock with errors
 // rather than deadlocking.
 func Run(size int, kind TransportKind, fn func(c *Comm) error) error {
+	return RunWithConfig(size, RunConfig{Kind: kind}, fn)
+}
+
+// RunWithConfig is Run with an explicit fault model. Node functions
+// returning an error wrapping ErrCrashed are treated as simulated
+// process deaths: they neither tear the transport down nor fail the
+// run, so surviving ranks can detect the loss (deadlines, heartbeats)
+// and complete degraded. Any other node error still aborts the run.
+func RunWithConfig(size int, cfg RunConfig, fn func(c *Comm) error) error {
 	if size <= 0 {
 		return fmt.Errorf("cluster: size %d", size)
 	}
 	var tr Transport
 	var err error
-	switch kind {
+	switch cfg.Kind {
 	case Channels:
 		tr = NewChannelTransport(size)
 	case TCP:
-		tr, err = NewTCPTransport(size)
+		tr, err = NewTCPTransportConfig(size, cfg.TCP)
 		if err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("cluster: unknown transport %d", int(kind))
+		return fmt.Errorf("cluster: unknown transport %d", int(cfg.Kind))
+	}
+	if cfg.Fault != nil {
+		f := *cfg.Fault
+		tr = NewFaultTransport(tr, size, f)
+		// A crashing rank with unbounded waits would deadlock the
+		// survivors; injecting crashes forces a deadline.
+		if f.CrashRank >= 0 && cfg.OpTimeout <= 0 {
+			cfg.OpTimeout = 5 * time.Second
+		}
 	}
 	defer tr.Close()
 
 	errs := make([]error, size)
+	crashed := make([]error, size)
 	var wg sync.WaitGroup
 	var closeOnce sync.Once
 	for r := 0; r < size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			comm := &Comm{rank: rank, size: size, tr: tr}
+			comm := newComm(rank, size, tr, cfg.OpTimeout, cfg.Heartbeat)
+			comm.startHeartbeat()
+			defer comm.stopHeartbeat()
 			if err := fn(comm); err != nil {
+				if errors.Is(err, ErrCrashed) {
+					// Simulated process death: survivors detect and
+					// degrade; do not tear the cluster down.
+					crashed[rank] = err
+					return
+				}
 				errs[rank] = err
 				// Unblock peers waiting on this failed node.
 				closeOnce.Do(func() { tr.Close() })
@@ -429,11 +743,11 @@ func (c *Comm) ReduceTree(root int, payload any, op ReduceOp) (any, error) {
 		if vrank&step != 0 {
 			// Send accumulated value to the partner below and exit.
 			partner := ((vrank - step) + root) % c.size
-			return nil, c.send(partner, tag, acc)
+			return nil, c.send(partner, tag, acc, "reduce-tree")
 		}
 		if vrank+step < c.size {
 			partner := (vrank + step + root) % c.size
-			v, err2 := c.recv(partner, tag)
+			v, err2 := c.recv(partner, tag, "reduce-tree")
 			if err2 != nil {
 				return nil, err2
 			}

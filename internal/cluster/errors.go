@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel causes for cluster failures. They are always wrapped in a
+// *RankError carrying the peer rank and the operation, so callers test
+// with errors.Is (for the cause) or errors.As (for the context):
+//
+//	var re *cluster.RankError
+//	if errors.As(err, &re) && errors.Is(err, cluster.ErrTimeout) { ... }
+var (
+	// ErrTimeout: an operation exceeded its configured deadline.
+	ErrTimeout = errors.New("operation timed out")
+	// ErrClosed: the transport was torn down under the operation.
+	ErrClosed = errors.New("transport closed")
+	// ErrCrashed: the local rank has been crashed by fault injection.
+	// Run treats node functions returning this as simulated process
+	// deaths: the run continues degraded instead of tearing down.
+	ErrCrashed = errors.New("rank crashed")
+	// ErrRankDead: a peer rank was declared dead by the failure
+	// detector (missed heartbeats past the deadline).
+	ErrRankDead = errors.New("peer rank declared dead")
+	// ErrFrameTooLarge: a length-framed message exceeded the maximum
+	// frame size (corrupt length prefix or oversized payload).
+	ErrFrameTooLarge = errors.New("frame exceeds maximum size")
+	// ErrPendingOverflow: the out-of-order pending queue overflowed,
+	// indicating a tag-matching bug or unbounded duplication.
+	ErrPendingOverflow = errors.New("pending message queue overflow")
+)
+
+// RankError is the typed error for every failed communication
+// operation: which peer rank it concerned, which operation, and the
+// underlying cause (often one of the sentinels above).
+type RankError struct {
+	// Rank is the peer the operation addressed (the remote side of a
+	// send/recv, or the rank a collective was waiting on).
+	Rank int
+	// Op names the failing operation, e.g. "send", "recv", "barrier",
+	// "gather", "allreduce".
+	Op string
+	// Cause is the underlying error.
+	Cause error
+}
+
+// Error implements error.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("cluster: rank %d: %s: %v", e.Rank, e.Op, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RankError) Unwrap() error { return e.Cause }
+
+// rankErr wraps cause with rank/op context; it keeps an existing
+// *RankError untouched so the innermost context (closest to the wire)
+// wins and double-wrapping does not obscure it.
+func rankErr(rank int, op string, cause error) error {
+	if cause == nil {
+		return nil
+	}
+	var re *RankError
+	if errors.As(cause, &re) {
+		return cause
+	}
+	return &RankError{Rank: rank, Op: op, Cause: cause}
+}

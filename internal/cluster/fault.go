@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes deterministic fault injection. All
+// probabilities are per-packet in [0, 1]; the seeded RNG makes a given
+// (seed, schedule) reproducible, so chaos runs are testable. Heartbeat
+// packets are subject to the same faults as data packets — that is the
+// point: the failure detector must tolerate a lossy network.
+type FaultConfig struct {
+	// Seed seeds the fault RNG; runs with the same seed and the same
+	// packet schedule inject the same faults.
+	Seed int64
+	// DropProb silently discards a packet (models loss; senders see
+	// success, receivers see nothing — only deadlines recover).
+	DropProb float64
+	// DupProb delivers a packet twice (models retransmit storms;
+	// delivery is at-least-once under duplication).
+	DupProb float64
+	// ReorderProb holds a packet back and delivers it asynchronously
+	// after up to MaxDelay, letting later packets overtake it.
+	ReorderProb float64
+	// DelayProb stalls the sender inline for up to MaxDelay (models a
+	// slow link; per-pair ordering is preserved).
+	DelayProb float64
+	// MaxDelay bounds both delay kinds (0 = default 2 ms).
+	MaxDelay time.Duration
+	// CrashRank, when >= 0, permanently kills that rank after it has
+	// issued CrashAfterSends successful sends: its further sends fail
+	// with ErrCrashed and packets addressed to it vanish.
+	CrashRank int
+	// CrashAfterSends is the crash trigger point (0 = crashed from the
+	// first send attempt).
+	CrashAfterSends int
+}
+
+// withDefaults normalizes the zero value.
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+// NewFaultConfig returns a config with no faults enabled and no crash
+// rank, ready for selective field setting.
+func NewFaultConfig(seed int64) FaultConfig {
+	return FaultConfig{Seed: seed, CrashRank: -1}
+}
+
+// FaultTransport decorates another Transport with seeded fault
+// injection: drops, duplicates, delays, reorders, and rank crashes.
+// Faults apply on the send path, modeling an unreliable network between
+// well-behaved endpoints.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	sends   []int64 // successful sends per origin rank
+	crashed bool    // CrashRank has died
+
+	// Injected-fault counters, for assertions and operator visibility.
+	drops, dups, delays, reorders int64
+}
+
+// NewFaultTransport wraps inner for a cluster of size ranks.
+func NewFaultTransport(inner Transport, size int, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{
+		inner: inner,
+		cfg:   cfg.withDefaults(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sends: make([]int64, size),
+	}
+}
+
+// Send implements Transport, rolling the fault dice before forwarding.
+func (t *FaultTransport) Send(from, to int, p packet, timeout time.Duration) error {
+	t.mu.Lock()
+	if t.cfg.CrashRank >= 0 && !t.crashed && from == t.cfg.CrashRank &&
+		t.sends[from] >= int64(t.cfg.CrashAfterSends) {
+		t.crashed = true
+	}
+	if t.crashed && from == t.cfg.CrashRank {
+		t.mu.Unlock()
+		return rankErr(from, "send", ErrCrashed)
+	}
+	if t.crashed && to == t.cfg.CrashRank {
+		// The destination process is gone; the network "delivers" into
+		// the void.
+		t.mu.Unlock()
+		return nil
+	}
+	t.sends[from]++
+	roll := t.rng.Float64()
+	var delay time.Duration
+	mode := "deliver"
+	switch {
+	case roll < t.cfg.DropProb:
+		mode = "drop"
+		t.drops++
+	case roll < t.cfg.DropProb+t.cfg.DupProb:
+		mode = "dup"
+		t.dups++
+	case roll < t.cfg.DropProb+t.cfg.DupProb+t.cfg.ReorderProb:
+		mode = "reorder"
+		t.reorders++
+		delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay))) + time.Microsecond
+	case roll < t.cfg.DropProb+t.cfg.DupProb+t.cfg.ReorderProb+t.cfg.DelayProb:
+		mode = "delay"
+		t.delays++
+		delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay))) + time.Microsecond
+	}
+	t.mu.Unlock()
+
+	switch mode {
+	case "drop":
+		return nil
+	case "dup":
+		if err := t.inner.Send(from, to, p, timeout); err != nil {
+			return err
+		}
+		return t.inner.Send(from, to, p, timeout)
+	case "reorder":
+		// Deliver asynchronously after a short hold so packets sent in
+		// the meantime overtake this one. Delivery errors are dropped:
+		// the packet raced transport shutdown, which is a legal loss.
+		go func() {
+			time.Sleep(delay)
+			_ = t.inner.Send(from, to, p, timeout)
+		}()
+		return nil
+	case "delay":
+		time.Sleep(delay)
+	}
+	return t.inner.Send(from, to, p, timeout)
+}
+
+// Inbox implements Transport.
+func (t *FaultTransport) Inbox(rank int) <-chan packet { return t.inner.Inbox(rank) }
+
+// Done implements Transport.
+func (t *FaultTransport) Done() <-chan struct{} { return t.inner.Done() }
+
+// LocalCrashed reports whether fault injection has killed rank: Comm
+// uses it to fail a dead rank's receives with ErrCrashed, mirroring
+// the sends.
+func (t *FaultTransport) LocalCrashed(rank int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crashed && rank == t.cfg.CrashRank
+}
+
+// Close implements Transport.
+func (t *FaultTransport) Close() error { return t.inner.Close() }
+
+// Injected reports how many faults of each kind fired.
+func (t *FaultTransport) Injected() (drops, dups, delays, reorders int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops, t.dups, t.delays, t.reorders
+}
+
+// ParseFaultSpec parses the CLI chaos spec: a comma-separated list of
+// key=value pairs. Keys: seed=<int>, drop=<p>, dup=<p>, reorder=<p>,
+// delay=<p>, maxdelay=<duration>, crash=<rank>[@<sends>]. Example:
+//
+//	seed=42,drop=0.02,dup=0.01,crash=2@100
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	cfg := NewFaultConfig(1)
+	if strings.TrimSpace(spec) == "" {
+		return cfg, fmt.Errorf("cluster: empty chaos spec")
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return cfg, fmt.Errorf("cluster: chaos field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			cfg.DropProb, err = parseProb(val)
+		case "dup":
+			cfg.DupProb, err = parseProb(val)
+		case "reorder":
+			cfg.ReorderProb, err = parseProb(val)
+		case "delay":
+			cfg.DelayProb, err = parseProb(val)
+		case "maxdelay":
+			cfg.MaxDelay, err = time.ParseDuration(val)
+		case "crash":
+			rank, after, hasAfter := strings.Cut(val, "@")
+			cfg.CrashRank, err = strconv.Atoi(rank)
+			if err == nil && hasAfter {
+				cfg.CrashAfterSends, err = strconv.Atoi(after)
+			}
+		default:
+			return cfg, fmt.Errorf("cluster: unknown chaos key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("cluster: chaos field %q: %w", field, err)
+		}
+	}
+	if p := cfg.DropProb + cfg.DupProb + cfg.ReorderProb + cfg.DelayProb; p > 1 {
+		return cfg, fmt.Errorf("cluster: chaos probabilities sum to %v > 1", p)
+	}
+	return cfg, nil
+}
+
+// parseProb parses a probability in [0, 1].
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}

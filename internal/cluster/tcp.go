@@ -4,14 +4,58 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// maxFrame bounds a single TCP message; genome-state reductions on
-// laptop-scale references fit comfortably, and anything larger is
-// almost certainly a bug.
-const maxFrame = 1 << 30
+// defaultMaxFrame bounds a single TCP message; genome-state reductions
+// on laptop-scale references fit comfortably, and anything larger is
+// almost certainly a corrupt length prefix — the reader rejects it
+// instead of allocating unbounded memory.
+const defaultMaxFrame = 1 << 30
+
+// Defaults for dial hardening: transient listen/accept races on a busy
+// host resolve well within a few backoff rounds.
+const (
+	defaultDialAttempts = 5
+	defaultDialBackoff  = 20 * time.Millisecond
+)
+
+// TCPConfig tunes transport hardening. The zero value picks safe
+// defaults (5 dial attempts with 20 ms exponential backoff + jitter,
+// 1 GiB max frame, no idle read deadline).
+type TCPConfig struct {
+	// DialAttempts is the number of connection attempts per peer
+	// before giving up (0 = default 5).
+	DialAttempts int
+	// DialBackoff is the base backoff between attempts; attempt i
+	// sleeps DialBackoff<<i plus up to DialBackoff of jitter
+	// (0 = default 20 ms).
+	DialBackoff time.Duration
+	// ReadTimeout, when > 0, is applied as a read deadline on every
+	// frame read. An idle timeout (no bytes arrived) keeps the reader
+	// polling; a mid-frame stall tears the connection down.
+	ReadTimeout time.Duration
+	// MaxFrame bounds one message's payload (0 = default 1 GiB).
+	// Length prefixes above it are treated as corruption.
+	MaxFrame int
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = defaultDialAttempts
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = defaultDialBackoff
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = defaultMaxFrame
+	}
+	return c
+}
 
 // TCPTransport connects size ranks over loopback TCP with a full mesh
 // of connections. Each rank owns one endpoint per peer: rank i's
@@ -24,6 +68,7 @@ const maxFrame = 1 << 30
 // rank's inbox channel.
 type TCPTransport struct {
 	size    int
+	cfg     TCPConfig
 	inboxes []chan packet
 	// endpoint[i][j] is the conn rank i uses to reach rank j.
 	endpoint [][]net.Conn
@@ -31,15 +76,25 @@ type TCPTransport struct {
 	closed   chan struct{}
 	once     sync.Once
 	wg       sync.WaitGroup
+
+	dialRetries  atomic.Int64
+	frameRejects atomic.Int64
 }
 
-// NewTCPTransport builds the full mesh on 127.0.0.1 ephemeral ports.
+// NewTCPTransport builds the full mesh on 127.0.0.1 ephemeral ports
+// with default hardening.
 func NewTCPTransport(size int) (*TCPTransport, error) {
+	return NewTCPTransportConfig(size, TCPConfig{})
+}
+
+// NewTCPTransportConfig builds the mesh with explicit hardening knobs.
+func NewTCPTransportConfig(size int, cfg TCPConfig) (*TCPTransport, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("cluster: tcp size %d", size)
 	}
 	t := &TCPTransport{
 		size:     size,
+		cfg:      cfg.withDefaults(),
 		inboxes:  make([]chan packet, size),
 		endpoint: make([][]net.Conn, size),
 		sendMu:   make([][]sync.Mutex, size),
@@ -111,13 +166,13 @@ func NewTCPTransport(size int) (*TCPTransport, error) {
 			}
 		}(j)
 	}
-	// Dialers: rank i dials every lower rank j.
+	// Dialers: rank i dials every lower rank j, retrying with backoff.
 	for i := 1; i < size; i++ {
 		for j := 0; j < i; j++ {
 			wg.Add(1)
 			go func(i, j int) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				conn, err := dialRetry(listeners[j].Addr().String(), t.cfg.DialAttempts, t.cfg.DialBackoff, &t.dialRetries)
 				if err != nil {
 					record(fmt.Errorf("cluster: dial %d->%d: %w", i, j, err))
 					return
@@ -160,22 +215,75 @@ func NewTCPTransport(size int) (*TCPTransport, error) {
 	return t, nil
 }
 
+// dialRetry dials addr up to attempts times with exponential backoff
+// plus jitter, counting retries (not first attempts) into counter.
+func dialRetry(addr string, attempts int, backoff time.Duration, counter *atomic.Int64) (net.Conn, error) {
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			counter.Add(1)
+			sleep := backoff<<(a-1) + time.Duration(rand.Int63n(int64(backoff)))
+			time.Sleep(sleep)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// parseFrameHeader decodes the 12-byte frame header and validates the
+// length against limit; a prefix above limit is treated as corruption.
+func parseFrameHeader(hdr []byte, limit int) (from, tag int, n uint32, err error) {
+	from = int(int32(binary.BigEndian.Uint32(hdr[0:4])))
+	tag = int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+	n = binary.BigEndian.Uint32(hdr[8:12])
+	if int64(n) > int64(limit) {
+		return 0, 0, 0, fmt.Errorf("cluster: frame of %d bytes (limit %d): %w", n, limit, ErrFrameTooLarge)
+	}
+	return from, tag, n, nil
+}
+
+// isTimeout reports whether err is a network read/write deadline miss.
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
 // readLoop parses frames arriving at owner's endpoint and delivers them
 // to owner's inbox.
 func (t *TCPTransport) readLoop(conn net.Conn, owner int) {
 	defer t.wg.Done()
 	for {
+		if t.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.cfg.ReadTimeout))
+		}
 		var hdr [12]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if n, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// An idle deadline miss (no bytes at all) is just a quiet
+			// link: keep polling unless we are shutting down. A partial
+			// header or any other error means the stream is broken.
+			if n == 0 && isTimeout(err) {
+				select {
+				case <-t.closed:
+					return
+				default:
+					continue
+				}
+			}
 			return
 		}
-		from := int(int32(binary.BigEndian.Uint32(hdr[0:4])))
-		tag := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
-		n := binary.BigEndian.Uint32(hdr[8:12])
-		if n > maxFrame {
+		from, tag, n, err := parseFrameHeader(hdr[:], t.cfg.MaxFrame)
+		if err != nil {
+			t.frameRejects.Add(1)
 			return
 		}
 		data := make([]byte, n)
+		if t.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.cfg.ReadTimeout))
+		}
 		if _, err := io.ReadFull(conn, data); err != nil {
 			return
 		}
@@ -187,14 +295,18 @@ func (t *TCPTransport) readLoop(conn net.Conn, owner int) {
 	}
 }
 
-// Send implements Transport.
-func (t *TCPTransport) Send(from, to int, p packet) error {
+// Send implements Transport. With timeout > 0 the socket writes run
+// under a write deadline.
+func (t *TCPTransport) Send(from, to int, p packet, timeout time.Duration) error {
 	if to < 0 || to >= t.size || from < 0 || from >= t.size || from == to {
 		return fmt.Errorf("cluster: tcp send %d->%d of %d", from, to, t.size)
 	}
+	if len(p.Data) > t.cfg.MaxFrame {
+		return fmt.Errorf("cluster: send of %d bytes (limit %d): %w", len(p.Data), t.cfg.MaxFrame, ErrFrameTooLarge)
+	}
 	select {
 	case <-t.closed:
-		return fmt.Errorf("cluster: transport closed")
+		return ErrClosed
 	default:
 	}
 	conn := t.endpoint[from][to]
@@ -207,10 +319,20 @@ func (t *TCPTransport) Send(from, to int, p packet) error {
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(p.Data)))
 	t.sendMu[from][to].Lock()
 	defer t.sendMu[from][to].Unlock()
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
 	if _, err := conn.Write(hdr[:]); err != nil {
+		if isTimeout(err) {
+			return fmt.Errorf("cluster: tcp write: %w", ErrTimeout)
+		}
 		return fmt.Errorf("cluster: tcp write: %w", err)
 	}
 	if _, err := conn.Write(p.Data); err != nil {
+		if isTimeout(err) {
+			return fmt.Errorf("cluster: tcp write: %w", ErrTimeout)
+		}
 		return fmt.Errorf("cluster: tcp write: %w", err)
 	}
 	return nil
@@ -218,6 +340,17 @@ func (t *TCPTransport) Send(from, to int, p packet) error {
 
 // Inbox implements Transport.
 func (t *TCPTransport) Inbox(rank int) <-chan packet { return t.inboxes[rank] }
+
+// Done implements Transport.
+func (t *TCPTransport) Done() <-chan struct{} { return t.closed }
+
+// DialRetries reports how many dial attempts beyond the first were
+// needed to build the mesh.
+func (t *TCPTransport) DialRetries() int64 { return t.dialRetries.Load() }
+
+// FrameRejects reports how many inbound frames were rejected for
+// exceeding MaxFrame (corrupt length prefixes).
+func (t *TCPTransport) FrameRejects() int64 { return t.frameRejects.Load() }
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {

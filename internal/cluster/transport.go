@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // inboxDepth bounds per-rank in-flight packets before senders block;
@@ -12,54 +13,66 @@ const inboxDepth = 4096
 // ChannelTransport delivers packets through in-process channels.
 type ChannelTransport struct {
 	inboxes []chan packet
-	mu      sync.Mutex
-	closed  bool
+	// done signals shutdown. Inbox channels have many concurrent
+	// senders so they are never closed; receivers and blocked senders
+	// observe shutdown through done instead.
+	done chan struct{}
+	once sync.Once
 }
 
 // NewChannelTransport creates a transport for size ranks.
 func NewChannelTransport(size int) *ChannelTransport {
-	t := &ChannelTransport{inboxes: make([]chan packet, size)}
+	t := &ChannelTransport{
+		inboxes: make([]chan packet, size),
+		done:    make(chan struct{}),
+	}
 	for i := range t.inboxes {
 		t.inboxes[i] = make(chan packet, inboxDepth)
 	}
 	return t
 }
 
-// Send implements Transport.
-func (t *ChannelTransport) Send(from, to int, p packet) (err error) {
+// Send implements Transport. With timeout > 0 a full inbox only blocks
+// for that long before returning ErrTimeout.
+func (t *ChannelTransport) Send(from, to int, p packet, timeout time.Duration) error {
 	if to < 0 || to >= len(t.inboxes) {
 		return fmt.Errorf("cluster: channel send to rank %d of %d", to, len(t.inboxes))
 	}
-	t.mu.Lock()
-	closed := t.closed
-	t.mu.Unlock()
-	if closed {
-		return fmt.Errorf("cluster: transport closed")
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
 	}
-	defer func() {
-		// A concurrent Close can close the inbox while we block on the
-		// send; recover converts the panic into an orderly error path.
-		if r := recover(); r != nil {
-			err = fmt.Errorf("cluster: transport closed during send")
+	if timeout <= 0 {
+		select {
+		case t.inboxes[to] <- p:
+			return nil
+		case <-t.done:
+			return ErrClosed
 		}
-	}()
-	t.inboxes[to] <- p
-	return nil
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case t.inboxes[to] <- p:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	case <-timer.C:
+		return ErrTimeout
+	}
 }
 
 // Inbox implements Transport.
 func (t *ChannelTransport) Inbox(rank int) <-chan packet { return t.inboxes[rank] }
 
-// Close implements Transport: closes all inboxes, unblocking receivers.
+// Done implements Transport.
+func (t *ChannelTransport) Done() <-chan struct{} { return t.done }
+
+// Close implements Transport: signals shutdown, unblocking receivers
+// and senders. The inbox channels themselves stay open because sends
+// may still be in flight.
 func (t *ChannelTransport) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return nil
-	}
-	t.closed = true
-	for _, ch := range t.inboxes {
-		close(ch)
-	}
+	t.once.Do(func() { close(t.done) })
 	return nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +10,11 @@ import (
 	"gnumap/internal/fastq"
 	"gnumap/internal/genome"
 )
+
+func init() {
+	gob.Register(ftResult{})
+	gob.Register(ftCtrl{})
+}
 
 // The paper's two MPI modes (§VI Step 1):
 //
@@ -42,6 +49,11 @@ func readShard(n, size, r int) (lo, hi int) {
 // returned accumulator is the merged result at rank 0 and nil
 // elsewhere; the returned Stats are global on every rank.
 func RunReadSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, mode genome.Mode, cfg Config) (genome.Accumulator, Stats, error) {
+	if c.OpTimeout() > 0 {
+		// Deadlines configured: run the fault-tolerant coordinator
+		// protocol, which survives worker loss by reassigning shards.
+		return runReadSplitFT(c, ref, reads, mode, cfg)
+	}
 	var st Stats
 	eng, err := NewEngine(ref, cfg)
 	if err != nil {
@@ -397,4 +409,245 @@ func ownerOf(pos, L, size int) int {
 		r++
 	}
 	return r
+}
+
+// Fault-tolerant read-split (coordinator protocol).
+//
+// The plain read-split path above assumes every rank survives: its
+// collectives (Allreduce, ReduceTree) block forever on a dead peer.
+// When an op timeout is configured, RunReadSplit switches to an
+// explicitly coordinated protocol instead:
+//
+//  1. Every rank maps its 1/N read shard into a full-length local
+//     accumulator, as before.
+//  2. Workers send (stats, serialized state) to rank 0 and await
+//     control messages. Rank 0 receives each worker's result with a
+//     deadline, extending patience while the worker's heartbeats show
+//     it alive (slow ≠ dead).
+//  3. Any worker whose result never arrives is declared dead and its
+//     *entire unacknowledged shard* is reassigned: round-robin over
+//     surviving workers (falling back to rank 0 itself when none are
+//     left), so every read is mapped exactly once in the merged
+//     result.
+//  4. Rank 0 merges all states, stamps Stats.LostRanks, and sends a
+//     Done control message carrying global stats to the survivors.
+//
+// Rank 0 itself is not recoverable — it holds the merge — so its death
+// aborts the run (workers detect it via heartbeat loss and error out).
+// Fault-free FT runs merge the same per-shard accumulators as the
+// plain path, so results are identical; only the merge topology
+// (linear at root vs binomial tree) differs, which is exact for the
+// float merges involved... up to the same reordering tolerance the
+// plain path already accepts across node counts.
+
+// ftResult is a worker's report: mapping stats for the shard it just
+// mapped plus the serialized accumulator state.
+type ftResult struct {
+	Stats Stats
+	State []byte
+}
+
+// ftCtrl is a coordinator order: either a shard reassignment
+// ([Lo, Hi) of the global read slice) or Done with the global stats.
+type ftCtrl struct {
+	Done   bool
+	Lo, Hi int
+	Stats  Stats
+}
+
+// FT protocol tags (user tag space; must not collide with other
+// point-to-point tags used alongside — read-split uses none).
+const (
+	ftResultTag = 1001
+	ftCtrlTag   = 1002
+)
+
+// ftMaxExtensions bounds how many deadline extensions a patient
+// receive grants a peer whose heartbeats still arrive.
+const ftMaxExtensions = 40
+
+// mergeStateInto deserializes a peer's accumulator state and merges it
+// into dst.
+func mergeStateInto(dst genome.Accumulator, mode genome.Mode, refLen int, state []byte) error {
+	tmp, err := genome.New(mode, refLen)
+	if err != nil {
+		return err
+	}
+	if err := tmp.(genome.Stateful).LoadStateBytes(state); err != nil {
+		return err
+	}
+	return dst.Merge(tmp)
+}
+
+// runReadSplitFT is the deadline- and failure-aware read-split path.
+func runReadSplitFT(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, mode genome.Mode, cfg Config) (genome.Accumulator, Stats, error) {
+	var st Stats
+	eng, err := NewEngine(ref, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	acc, err := genome.New(mode, ref.Len())
+	if err != nil {
+		return nil, st, err
+	}
+	if _, ok := acc.(genome.Stateful); !ok {
+		return nil, st, fmt.Errorf("core: accumulator mode %v is not transportable", mode)
+	}
+	lo, hi := readShard(len(reads), c.Size(), c.Rank())
+	local, err := eng.MapReads(reads[lo:hi], acc, 0)
+	if err != nil {
+		return nil, st, err
+	}
+	if c.Rank() != 0 {
+		wst, err := ftWorker(c, eng, acc, mode, ref.Len(), reads, local)
+		return nil, wst, err
+	}
+	return ftCoordinator(c, eng, acc, mode, ref.Len(), reads, local)
+}
+
+// ftWorker reports the local shard result to rank 0, then serves
+// reassignment orders until Done (or until rank 0 is lost). The
+// returned Stats are the global ones carried by the Done message.
+func ftWorker(c *cluster.Comm, eng *Engine, acc genome.Accumulator, mode genome.Mode, refLen int, reads []*fastq.Read, local Stats) (Stats, error) {
+	var st Stats
+	state, err := acc.(genome.Stateful).State()
+	if err != nil {
+		return st, err
+	}
+	if err := c.Send(0, ftResultTag, ftResult{Stats: local, State: state}); err != nil {
+		return st, fmt.Errorf("rank %d: report result: %w", c.Rank(), err)
+	}
+	for {
+		v, err := c.RecvPatient(0, ftCtrlTag, c.OpTimeout(), ftMaxExtensions)
+		if err != nil {
+			return st, fmt.Errorf("rank %d: await control: %w", c.Rank(), err)
+		}
+		ctrl, ok := v.(ftCtrl)
+		if !ok {
+			return st, fmt.Errorf("rank %d: unexpected control payload %T", c.Rank(), v)
+		}
+		if ctrl.Done {
+			return ctrl.Stats, nil
+		}
+		// Reassigned shard: map it into a fresh accumulator so the
+		// report carries exactly this shard's contributions.
+		sub, err := genome.New(mode, refLen)
+		if err != nil {
+			return st, err
+		}
+		sst, err := eng.MapReads(reads[ctrl.Lo:ctrl.Hi], sub, 0)
+		if err != nil {
+			return st, err
+		}
+		sstate, err := sub.(genome.Stateful).State()
+		if err != nil {
+			return st, err
+		}
+		if err := c.Send(0, ftResultTag, ftResult{Stats: sst, State: sstate}); err != nil {
+			return st, fmt.Errorf("rank %d: report reassigned result: %w", c.Rank(), err)
+		}
+	}
+}
+
+// ftCoordinator collects worker results with deadlines, reassigns dead
+// workers' shards, merges everything, and distributes global stats.
+func ftCoordinator(c *cluster.Comm, eng *Engine, acc genome.Accumulator, mode genome.Mode, refLen int, reads []*fastq.Read, st Stats) (genome.Accumulator, Stats, error) {
+	type shard struct{ lo, hi int }
+	var survivors []int // surviving workers, in ack order
+	var lost []int
+	var orphaned []shard
+
+	collect := func(r int) error {
+		v, err := c.RecvPatient(r, ftResultTag, c.OpTimeout(), ftMaxExtensions)
+		if err != nil {
+			return err
+		}
+		res, ok := v.(ftResult)
+		if !ok {
+			return fmt.Errorf("rank 0: unexpected result payload %T from rank %d", v, r)
+		}
+		if err := mergeStateInto(acc, mode, refLen, res.State); err != nil {
+			return err
+		}
+		st.Mapped += res.Stats.Mapped
+		st.Unmapped += res.Stats.Unmapped
+		st.Locations += res.Stats.Locations
+		return nil
+	}
+
+	for r := 1; r < c.Size(); r++ {
+		if err := collect(r); err != nil {
+			if isCommLoss(err) {
+				slo, shi := readShard(len(reads), c.Size(), r)
+				lost = append(lost, r)
+				orphaned = append(orphaned, shard{slo, shi})
+				continue
+			}
+			return nil, st, err
+		}
+		survivors = append(survivors, r)
+	}
+
+	// Reassign orphaned shards round-robin over survivors; rank 0 maps
+	// anything left itself, so the queue always drains.
+	next := 0
+	for len(orphaned) > 0 {
+		sh := orphaned[0]
+		orphaned = orphaned[1:]
+		if len(survivors) == 0 {
+			sst, err := eng.MapReads(reads[sh.lo:sh.hi], acc, 0)
+			if err != nil {
+				return nil, st, err
+			}
+			st.Mapped += sst.Mapped
+			st.Unmapped += sst.Unmapped
+			st.Locations += sst.Locations
+			continue
+		}
+		w := survivors[next%len(survivors)]
+		next++
+		err := c.Send(w, ftCtrlTag, ftCtrl{Lo: sh.lo, Hi: sh.hi})
+		if err == nil {
+			err = collect(w)
+		}
+		if err != nil {
+			if isCommLoss(err) {
+				// The survivor died mid-reassignment: drop it and requeue
+				// the shard for the remaining ranks (or rank 0).
+				survivors = removeRank(survivors, w)
+				lost = append(lost, w)
+				orphaned = append(orphaned, sh)
+				continue
+			}
+			return nil, st, err
+		}
+	}
+
+	st.LostRanks = lost
+	for _, w := range survivors {
+		// A survivor that dies right here misses only the Done message;
+		// ignore the failure rather than aborting a finished run.
+		_ = c.Send(w, ftCtrlTag, ftCtrl{Done: true, Stats: st})
+	}
+	return acc, st, nil
+}
+
+// isCommLoss classifies errors that mean "the peer is gone or
+// unreachable" — grounds for reassignment rather than abort.
+func isCommLoss(err error) bool {
+	return errors.Is(err, cluster.ErrTimeout) ||
+		errors.Is(err, cluster.ErrRankDead) ||
+		errors.Is(err, cluster.ErrCrashed) ||
+		errors.Is(err, cluster.ErrClosed)
+}
+
+// removeRank drops rank w from a slice of ranks.
+func removeRank(ranks []int, w int) []int {
+	out := ranks[:0]
+	for _, r := range ranks {
+		if r != w {
+			out = append(out, r)
+		}
+	}
+	return out
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gnumap/internal/cluster"
+	"gnumap/internal/genome"
+	"gnumap/internal/snp"
+)
+
+// ftRunConfig is the fault-tolerant run configuration used across the
+// degraded-mode suite: deadlines short enough to keep tests fast, a
+// heartbeat well inside the deadline so slow ranks are not misjudged.
+func ftRunConfig(fault *cluster.FaultConfig) cluster.RunConfig {
+	return cluster.RunConfig{
+		Kind:      cluster.Channels,
+		OpTimeout: 300 * time.Millisecond,
+		Heartbeat: 15 * time.Millisecond,
+		Fault:     fault,
+	}
+}
+
+// TestReadSplitFTMatchesPlainPath: with deadlines on but no faults,
+// the coordinator protocol must reproduce the plain read-split result.
+func TestReadSplitFTMatchesPlainPath(t *testing.T) {
+	p := makePipeline(t, 20000, 3, 8, 71)
+	want := sharedBaseline(t, p, genome.Norm)
+	var got genome.Accumulator
+	var mu sync.Mutex
+	err := cluster.RunWithConfig(4, ftRunConfig(nil), func(c *cluster.Comm) error {
+		acc, st, err := RunReadSplit(c, p.ref, p.reads, genome.Norm, Config{Workers: 1})
+		if err != nil {
+			return err
+		}
+		// Every rank — root and workers — receives the global stats.
+		if st.Mapped+st.Unmapped != int64(len(p.reads)) {
+			return fmt.Errorf("rank %d: stats don't cover all reads: %+v", c.Rank(), st)
+		}
+		if st.Degraded() {
+			return fmt.Errorf("rank %d: fault-free run marked degraded: %v", c.Rank(), st.LostRanks)
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			got = acc
+			mu.Unlock()
+		} else if acc != nil {
+			return fmt.Errorf("non-root rank received an accumulator")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < p.ref.Len(); pos += 401 {
+		a, b := want.Total(pos), got.Total(pos)
+		if math.Abs(a-b) > 1e-3*(1+a) {
+			t.Fatalf("pos=%d: FT %v vs shared %v", pos, b, a)
+		}
+	}
+}
+
+// TestReadSplitDegradedSurvivesDeadWorker is the tentpole acceptance
+// test: kill one worker before it can report, and the run must still
+// complete — the dead rank's shard reassigned to survivors — with the
+// same SNP calls as the fault-free baseline.
+func TestReadSplitDegradedSurvivesDeadWorker(t *testing.T) {
+	p := makePipeline(t, 20000, 4, 10, 73)
+	want := sharedBaseline(t, p, genome.Norm)
+	wantCalls, _, err := snp.CallAll(p.ref, want, snp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantCalls) == 0 {
+		t.Fatal("baseline produced no SNP calls; test is vacuous")
+	}
+
+	fault := cluster.NewFaultConfig(9)
+	fault.CrashRank = 2 // dies on its first send: rank 0 never hears from it
+	var got genome.Accumulator
+	var rootStats Stats
+	var mu sync.Mutex
+	start := time.Now()
+	err = cluster.RunWithConfig(4, ftRunConfig(&fault), func(c *cluster.Comm) error {
+		acc, st, err := RunReadSplit(c, p.ref, p.reads, genome.Norm, Config{Workers: 1})
+		if c.Rank() == fault.CrashRank {
+			// The crashed rank observes its own death; returning the
+			// ErrCrashed-wrapped error tells the runtime it "exited".
+			if err == nil || !errors.Is(err, cluster.ErrCrashed) {
+				return fmt.Errorf("crashed rank: want ErrCrashed, got %v", err)
+			}
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			got = acc
+			rootStats = st
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("degraded run took %v", elapsed)
+	}
+	if got == nil {
+		t.Fatal("no accumulator at root")
+	}
+	if len(rootStats.LostRanks) != 1 || rootStats.LostRanks[0] != 2 {
+		t.Errorf("LostRanks = %v, want [2]", rootStats.LostRanks)
+	}
+	if !rootStats.Degraded() {
+		t.Error("run not marked degraded")
+	}
+	// The reassigned shard means every read was still mapped exactly once.
+	if rootStats.Mapped+rootStats.Unmapped != int64(len(p.reads)) {
+		t.Errorf("stats don't cover all reads after reassignment: %+v", rootStats)
+	}
+	gotCalls, _, err := snp.CallAll(p.ref, got, snp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotCalls) != len(wantCalls) {
+		t.Fatalf("degraded run: %d SNP calls vs baseline %d", len(gotCalls), len(wantCalls))
+	}
+	for i := range wantCalls {
+		if wantCalls[i].GlobalPos != gotCalls[i].GlobalPos || wantCalls[i].Allele != gotCalls[i].Allele {
+			t.Fatalf("call %d differs: %+v vs %+v", i, gotCalls[i], wantCalls[i])
+		}
+	}
+}
+
+// TestReadSplitDegradedAllWorkersDead: when every worker dies, rank 0
+// maps the orphaned shards itself and the run still completes.
+func TestReadSplitDegradedAllWorkersDead(t *testing.T) {
+	p := makePipeline(t, 10000, 2, 6, 79)
+	want := sharedBaseline(t, p, genome.Norm)
+
+	fault := cluster.NewFaultConfig(3)
+	fault.CrashRank = 1 // the only worker in a 2-rank run
+	var got genome.Accumulator
+	var rootStats Stats
+	var mu sync.Mutex
+	err := cluster.RunWithConfig(2, ftRunConfig(&fault), func(c *cluster.Comm) error {
+		acc, st, err := RunReadSplit(c, p.ref, p.reads, genome.Norm, Config{Workers: 1})
+		if c.Rank() == 1 {
+			return err // ErrCrashed, treated as a simulated death
+		}
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got, rootStats = acc, st
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootStats.LostRanks) != 1 || rootStats.LostRanks[0] != 1 {
+		t.Errorf("LostRanks = %v, want [1]", rootStats.LostRanks)
+	}
+	if rootStats.Mapped+rootStats.Unmapped != int64(len(p.reads)) {
+		t.Errorf("stats don't cover all reads: %+v", rootStats)
+	}
+	for pos := 0; pos < p.ref.Len(); pos += 301 {
+		a, b := want.Total(pos), got.Total(pos)
+		if math.Abs(a-b) > 1e-3*(1+a) {
+			t.Fatalf("pos=%d: degraded %v vs shared %v", pos, b, a)
+		}
+	}
+}
+
+// TestGenomeSplitCrashAbortsWithinDeadline: genome-split cannot drop a
+// rank (each owns an exclusive genome slice), so a crash must surface
+// as a bounded, typed failure — not a hang.
+func TestGenomeSplitCrashAbortsWithinDeadline(t *testing.T) {
+	p := makePipeline(t, 10000, 2, 6, 83)
+	fault := cluster.NewFaultConfig(4)
+	fault.CrashRank = 1
+	start := time.Now()
+	err := cluster.RunWithConfig(3, ftRunConfig(&fault), func(c *cluster.Comm) error {
+		_, _, _, _, err := RunGenomeSplit(c, p.ref, p.reads, genome.Norm, Config{Workers: 1})
+		if c.Rank() == 1 {
+			return err // crashed rank's own failure is a simulated death
+		}
+		if err == nil {
+			return fmt.Errorf("rank %d: genome-split succeeded with a dead rank", c.Rank())
+		}
+		var re *cluster.RankError
+		if !errors.As(err, &re) {
+			return fmt.Errorf("rank %d: untyped genome-split error: %v", c.Rank(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Errorf("genome-split abort took %v", elapsed)
+	}
+}

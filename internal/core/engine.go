@@ -147,7 +147,14 @@ type Stats struct {
 	// (read, location) pairs — Locations/Mapped > 1 indicates
 	// multi-mapping reads contributing to several loci.
 	Mapped, Unmapped, Locations int64
+	// LostRanks lists cluster ranks that died during a fault-tolerant
+	// read-split run; their shards were reassigned to survivors, so the
+	// counts above still cover every read. Empty on healthy runs.
+	LostRanks []int
 }
+
+// Degraded reports whether the run lost (and recovered from) ranks.
+func (s Stats) Degraded() bool { return len(s.LostRanks) > 0 }
 
 // add merges another Stats (used when aggregating across nodes).
 func (s *Stats) add(o Stats) {
