@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-phmm chaos check
+.PHONY: build test race vet bench bench-phmm chaos metrics check
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine, accumulators and cluster runtime are concurrent; -race on
-# the full tree is slow, so the gate covers the concurrent packages.
+# The engine, accumulators, cluster runtime and metrics registry are
+# concurrent; -race on the full tree is slow, so the gate covers the
+# concurrent packages.
 race:
-	$(GO) test -race ./internal/core/... ./internal/cluster/... ./internal/genome/...
+	$(GO) test -race ./internal/core/... ./internal/cluster/... ./internal/genome/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
@@ -31,5 +32,10 @@ bench-phmm:
 # deterministic (fixed seeds live in the tests) and race-checked.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Crash|Heartbeat|RecvPatient|Degraded|FTMatches|Dial|Frame|Hardening|Timeout' ./internal/cluster/ ./internal/core/
+
+# Observability smoke: a small 2-node cluster run that writes
+# metrics.json, schema-checks it, and prints the merged summary.
+metrics:
+	$(GO) run ./cmd/snpbench -exp metrics -length 60000 -coverage 4 -metrics-out metrics.json
 
 check: build vet test race

@@ -7,7 +7,9 @@
 //	gnumap-snp -ref reference.fa -reads reads.fq -o calls.vcf \
 //	    [-diploid] [-alpha 0.05] [-fdr] [-memory norm|chardisc|centdisc] \
 //	    [-workers N] [-nodes N -split read|genome [-tcp]] \
-//	    [-op-timeout 5s] [-heartbeat 100ms] [-chaos seed=42,drop=0.01]
+//	    [-op-timeout 5s] [-heartbeat 100ms] [-chaos seed=42,drop=0.01] \
+//	    [-metrics-out metrics.json] [-pprof localhost:6060] \
+//	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -nodes > 1 the run executes on a simulated message-passing
 // cluster (goroutine nodes; -tcp switches to loopback TCP), using the
@@ -15,14 +17,23 @@
 // cluster operation (and, in read-split mode, enables shard
 // reassignment when a worker dies); -heartbeat tunes failure detection;
 // -chaos injects deterministic faults for resilience testing.
+//
+// Observability: -metrics-out writes the run's merged metrics report
+// (per-rank stage timers, counters, and communication gauges) as JSON
+// and prints a human summary to stderr; -pprof serves net/http/pprof
+// on the given address for live inspection; -cpuprofile/-memprofile
+// write standard runtime profiles for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gnumap"
@@ -31,35 +42,76 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gnumap-snp: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
-		refPath   = flag.String("ref", "", "reference FASTA (required)")
-		readsPath = flag.String("reads", "", "reads FASTQ (required)")
-		outPath   = flag.String("o", "", "output VCF (default stdout)")
-		phred64   = flag.Bool("phred64", false, "reads use Phred+64 qualities")
-		diploid   = flag.Bool("diploid", false, "use the diploid LRT (heterozygous calls)")
-		alpha     = flag.Float64("alpha", 0.05, "family-wise significance level")
-		fdr       = flag.Bool("fdr", false, "Benjamini-Hochberg FDR control instead of the fixed cutoff")
-		memory    = flag.String("memory", "norm", "accumulator layout: norm, chardisc, centdisc")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
-		band      = flag.Int("band", 0, "PHMM band width in DP cells around the seed diagonal (0 = auto 2*pad+2, negative = exact full kernel)")
-		fit       = flag.Bool("fit", false, "fit PHMM parameters to the data (Baum-Welch) before mapping")
-		samPath   = flag.String("sam", "", "also write best alignments as SAM to this file (single-process mode only)")
-		pileupOut = flag.String("pileup", "", "also write the probability pileup as TSV to this file (single-process mode only)")
-		nodes     = flag.Int("nodes", 1, "simulated cluster size (1 = single process)")
-		split     = flag.String("split", "read", "cluster strategy: read (replicate genome) or genome (partition genome)")
-		tcp       = flag.Bool("tcp", false, "use loopback TCP between simulated nodes")
-		opTimeout = flag.Duration("op-timeout", 0, "cluster per-operation deadline; >0 also enables read-split shard reassignment on worker death (0 = block forever)")
-		heartbeat = flag.Duration("heartbeat", 0, "cluster heartbeat period for failure detection (0 = auto when -op-timeout is set)")
-		chaos     = flag.String("chaos", "", "deterministic fault injection spec, e.g. seed=42,drop=0.02,dup=0.01,crash=2@100")
+		refPath    = flag.String("ref", "", "reference FASTA (required)")
+		readsPath  = flag.String("reads", "", "reads FASTQ (required)")
+		outPath    = flag.String("o", "", "output VCF (default stdout)")
+		phred64    = flag.Bool("phred64", false, "reads use Phred+64 qualities")
+		diploid    = flag.Bool("diploid", false, "use the diploid LRT (heterozygous calls)")
+		alpha      = flag.Float64("alpha", 0.05, "family-wise significance level")
+		fdr        = flag.Bool("fdr", false, "Benjamini-Hochberg FDR control instead of the fixed cutoff")
+		memory     = flag.String("memory", "norm", "accumulator layout: norm, chardisc, centdisc")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
+		band       = flag.Int("band", 0, "PHMM band width in DP cells around the seed diagonal (0 = auto 2*pad+2, negative = exact full kernel)")
+		fit        = flag.Bool("fit", false, "fit PHMM parameters to the data (Baum-Welch) before mapping")
+		samPath    = flag.String("sam", "", "also write best alignments as SAM to this file (single-process mode only)")
+		pileupOut  = flag.String("pileup", "", "also write the probability pileup as TSV to this file (single-process mode only)")
+		nodes      = flag.Int("nodes", 1, "simulated cluster size (1 = single process)")
+		split      = flag.String("split", "read", "cluster strategy: read (replicate genome) or genome (partition genome)")
+		tcp        = flag.Bool("tcp", false, "use loopback TCP between simulated nodes")
+		opTimeout  = flag.Duration("op-timeout", 0, "cluster per-operation deadline; >0 also enables read-split shard reassignment on worker death (0 = block forever)")
+		heartbeat  = flag.Duration("heartbeat", 0, "cluster heartbeat period for failure detection (0 = auto when -op-timeout is set)")
+		chaos      = flag.String("chaos", "", "deterministic fault injection spec, e.g. seed=42,drop=0.02,dup=0.01,crash=2@100")
+		metricsOut = flag.String("metrics-out", "", "write the merged metrics report as JSON to this file (and a summary to stderr)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the /debug/pprof handlers via the
+			// net/http/pprof import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeTo(*memProfile, func(f *os.File) error {
+				runtime.GC() // flush dead allocations so the profile shows live heap
+				return pprof.WriteHeapProfile(f)
+			}); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 	mem, err := parseMemory(*memory)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	enc := gnumap.Sanger
 	if *phred64 {
@@ -67,11 +119,11 @@ func main() {
 	}
 	reference, err := gnumap.LoadReference(*refPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	reads, err := gnumap.LoadReads(*readsPath, enc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := gnumap.Options{Memory: mem}
 	opts.Engine.Workers = *workers
@@ -83,7 +135,7 @@ func main() {
 		}
 		params, err := gnumap.FitPHMM(reference, sample, 500)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		opts.Engine.PHMM = params
 		fmt.Fprintf(os.Stderr, "fitted PHMM: TMM=%.4f TMG=%.5f\n", params.TMM, params.TMG)
@@ -98,12 +150,13 @@ func main() {
 	var calls []gnumap.SNPCall
 	var stats gnumap.MapStats
 	var qcStats *gnumap.CoverageStats
+	var report *gnumap.MetricsReport
 	if *nodes > 1 {
 		splitMode := gnumap.ReadSplit
 		if *split == "genome" {
 			splitMode = gnumap.GenomeSplit
 		} else if *split != "read" {
-			log.Fatalf("unknown -split %q (want read or genome)", *split)
+			return fmt.Errorf("unknown -split %q (want read or genome)", *split)
 		}
 		transport := gnumap.Channels
 		if *tcp {
@@ -119,29 +172,38 @@ func main() {
 		if *chaos != "" {
 			fc, err := gnumap.ParseChaosSpec(*chaos)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			opts.Cluster.Fault = &fc
 		}
-		calls, stats, err = gnumap.RunCluster(*nodes, transport, splitMode, reference, reads, opts)
+		if *metricsOut != "" {
+			calls, stats, report, err = gnumap.RunClusterReport(*nodes, transport, splitMode, reference, reads, opts)
+		} else {
+			calls, stats, err = gnumap.RunCluster(*nodes, transport, splitMode, reference, reads, opts)
+		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if stats.Degraded() {
 			fmt.Fprintf(os.Stderr, "WARNING: degraded run — lost rank(s) %v; their read shards were reassigned to survivors\n", stats.LostRanks)
 		}
 	} else {
+		var reg *gnumap.MetricsRegistry
+		if *metricsOut != "" {
+			reg = gnumap.NewMetricsRegistry()
+			opts.Metrics = reg
+		}
 		p, err := gnumap.NewPipeline(reference, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		stats, err = p.MapReads(reads)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		calls, _, err = p.Call()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cs := p.CoverageStats()
 		qcStats = &cs
@@ -149,14 +211,23 @@ func main() {
 			if err := writeTo(*samPath, func(f *os.File) error {
 				return p.WriteSAM(f, reads)
 			}); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		if *pileupOut != "" {
 			if err := writeTo(*pileupOut, func(f *os.File) error {
 				return p.WritePileup(f, 2)
 			}); err != nil {
-				log.Fatal(err)
+				return err
+			}
+		}
+		if reg != nil {
+			report, err = gnumap.NewMetricsReport([]gnumap.MetricsSnapshot{
+				reg.Snapshot(0),
+				gnumap.ProcessMetrics().Snapshot(gnumap.MetricsProcessRank),
+			}, nil)
+			if err != nil {
+				return err
 			}
 		}
 	}
@@ -166,19 +237,28 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		out = f
 	}
 	if err := writeVCF(out, reference, calls); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "mapped %d/%d reads (%d locations) in %s; %d SNPs\n",
 		stats.Mapped, stats.Mapped+stats.Unmapped, stats.Locations, elapsed.Round(time.Millisecond), len(calls))
 	if qcStats != nil {
 		qcStats.WriteText(os.Stderr)
 	}
+	if report != nil {
+		if err := writeTo(*metricsOut, func(f *os.File) error { return report.WriteJSON(f) }); err != nil {
+			return err
+		}
+		if err := report.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeTo creates a file and hands it to fn.

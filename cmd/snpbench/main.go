@@ -16,20 +16,26 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"gnumap/internal/cluster"
+	"gnumap/internal/core"
 	"gnumap/internal/experiments"
+	"gnumap/internal/genome"
+	"gnumap/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("snpbench: ")
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, all")
+		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, metrics, all")
 		benchOut   = flag.String("benchout", "BENCH_phmm.json", "output path for the phmm kernel benchmark JSON")
 		length     = flag.Int("length", 400_000, "simulated genome length")
 		snps       = flag.Int("snps", 0, "planted SNP count (default: paper density, length/10500)")
@@ -39,15 +45,52 @@ func main() {
 		maxNodes   = flag.Int("maxnodes", 4, "maximum node count (fig4)")
 		maxWorkers = flag.Int("maxworkers", runtime.GOMAXPROCS(0), "maximum worker count (fig5)")
 		tcp        = flag.Bool("tcp", false, "use loopback TCP between simulated nodes (fig4)")
+		metricsOut = flag.String("metrics-out", "metrics.json", "output path for the metrics experiment's JSON report")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	wants := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		wants[strings.TrimSpace(e)] = true
 	}
 	all := wants["all"]
-	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"]
+	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["metrics"]
 
 	var ds *experiments.Dataset
 	if needData {
@@ -100,6 +143,10 @@ func main() {
 	}
 	if all || wants["phmm"] {
 		runPhmmBench(*benchOut)
+		ran = true
+	}
+	if all || wants["metrics"] {
+		runMetrics(ds, *metricsOut)
 		ran = true
 	}
 	if !ran {
@@ -278,4 +325,59 @@ func msRound(d time.Duration) time.Duration {
 	default:
 		return time.Millisecond
 	}
+}
+
+// runMetrics is the observability smoke: a 2-node read-split run with
+// per-rank registries, gathered and merged at rank 0, written as JSON,
+// then read back and schema-checked. Exits non-zero on any failure so
+// CI can gate on it.
+func runMetrics(ds *experiments.Dataset, outPath string) {
+	fmt.Println("METRICS — 2-node read-split with per-rank aggregation")
+	var snaps []obs.Snapshot
+	err := cluster.RunWithConfig(2, cluster.RunConfig{Kind: cluster.Channels}, func(c *cluster.Comm) error {
+		reg := obs.NewRegistry()
+		c.SetMetrics(reg)
+		if _, _, err := core.RunReadSplit(c, ds.Ref, ds.Reads, genome.Norm, core.Config{Workers: 1, Metrics: reg}); err != nil {
+			return err
+		}
+		c.PublishStats()
+		got, _, err := core.GatherMetrics(c, reg.Snapshot(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			snaps = got
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := obs.NewReport(snaps, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// Round-trip: what landed on disk must parse and reconcile.
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.ValidateReportJSON(data); err != nil {
+		log.Fatalf("metrics report failed validation: %v", err)
+	}
+	if err := report.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rank snapshots, schema OK)\n\n", outPath, len(report.Ranks))
 }

@@ -18,6 +18,7 @@
 package gnumap
 
 import (
+	"encoding/gob"
 	"fmt"
 	"io"
 	"time"
@@ -30,11 +31,18 @@ import (
 	"gnumap/internal/fastq"
 	"gnumap/internal/genome"
 	"gnumap/internal/lrt"
+	"gnumap/internal/obs"
 	"gnumap/internal/phmm"
 	"gnumap/internal/qc"
 	"gnumap/internal/simulate"
 	"gnumap/internal/snp"
 )
+
+func init() {
+	// Candidate batches travel rank→rank-0 inside a collective when a
+	// genome-split run applies global FDR.
+	gob.Register([]snp.Candidate{})
+}
 
 // Read is one sequencing read (name, bases, Phred qualities).
 type Read = fastq.Read
@@ -104,7 +112,47 @@ type Options struct {
 	// deadlines, heartbeat failure detection, chaos injection). The
 	// zero value keeps the historical block-forever behavior.
 	Cluster ClusterConfig
+	// Metrics, when non-nil, receives the pipeline's stage timers and
+	// counters (mapping, Pair-HMM, calling). It applies to NewPipeline;
+	// cluster runs instead build one registry per rank — use
+	// RunClusterReport to get the aggregated result.
+	Metrics *MetricsRegistry
 }
+
+// MetricsRegistry is a set of named counters, gauges, and latency
+// histograms recording where a run spends its time (see internal/obs
+// for the metric taxonomy). Registries are safe for concurrent use.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is one registry's point-in-time state, tagged with
+// the rank that produced it.
+type MetricsSnapshot = obs.Snapshot
+
+// MetricsReport aggregates per-rank snapshots: each rank's snapshot,
+// the ranks that died before reporting, and the merged totals.
+type MetricsReport = obs.Report
+
+// NewMetricsRegistry returns an empty registry for Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ProcessMetrics returns the process-wide registry, which collects
+// rank-independent activity such as FASTA/FASTQ file I/O.
+func ProcessMetrics() *MetricsRegistry { return obs.Default() }
+
+// MetricsProcessRank tags a snapshot as process-wide (rank-independent)
+// rather than belonging to a cluster rank.
+const MetricsProcessRank = obs.ProcessRank
+
+// NewMetricsReport merges per-scope snapshots into a report. Cluster
+// runs get this done by RunClusterReport; single-process callers can
+// assemble one from their registry's snapshot plus ProcessMetrics().
+func NewMetricsReport(snaps []MetricsSnapshot, deadRanks []int) (*MetricsReport, error) {
+	return obs.NewReport(snaps, deadRanks)
+}
+
+// ValidateMetricsJSON checks that data parses as a serialized
+// MetricsReport with internally consistent merged totals.
+func ValidateMetricsJSON(data []byte) error { return obs.ValidateReportJSON(data) }
 
 // ClusterConfig is the fault model for RunCluster: operation deadlines,
 // heartbeat failure detection, and optional deterministic fault
@@ -142,6 +190,14 @@ type Pipeline struct {
 
 // NewPipeline indexes the reference and allocates the accumulator.
 func NewPipeline(reference []*Contig, opts Options) (*Pipeline, error) {
+	if opts.Metrics != nil {
+		if opts.Engine.Metrics == nil {
+			opts.Engine.Metrics = opts.Metrics
+		}
+		if opts.Caller.Metrics == nil {
+			opts.Caller.Metrics = opts.Metrics
+		}
+	}
 	ref, err := genome.NewReference(reference)
 	if err != nil {
 		return nil, err
@@ -524,19 +580,45 @@ func (m SplitMode) String() string {
 // given size, returning the calls and global mapping statistics. In
 // ReadSplit mode the reduction happens at rank 0, which also calls
 // SNPs; in GenomeSplit mode every rank calls SNPs on its genome slice
-// and the calls are gathered. Either way the result is equivalent to a
-// single-process run.
+// and the calls are gathered — except under FDR control, where the
+// per-position LRT candidates are gathered to rank 0 and the
+// Benjamini-Hochberg pass runs once over the global candidate list
+// (BH thresholds depend on the full ranked p-value list, so running it
+// per shard changes the call set with the node count). Either way the
+// result is equivalent to a single-process run.
 func RunCluster(nodes int, transport Transport, mode SplitMode,
 	reference []*Contig, reads []*Read, opts Options) ([]SNPCall, MapStats, error) {
 
+	calls, stats, _, err := runCluster(nodes, transport, mode, reference, reads, opts, false)
+	return calls, stats, err
+}
+
+// RunClusterReport is RunCluster with per-rank observability: every
+// rank records its mapping, calling, and communication activity into
+// its own registry; at the end the snapshots are gathered at rank 0
+// (tolerating dead ranks on fault-tolerant runs) and merged into a
+// MetricsReport alongside the process-wide I/O metrics.
+func RunClusterReport(nodes int, transport Transport, mode SplitMode,
+	reference []*Contig, reads []*Read, opts Options) ([]SNPCall, MapStats, *MetricsReport, error) {
+
+	return runCluster(nodes, transport, mode, reference, reads, opts, true)
+}
+
+func runCluster(nodes int, transport Transport, mode SplitMode,
+	reference []*Contig, reads []*Read, opts Options, withMetrics bool) ([]SNPCall, MapStats, *MetricsReport, error) {
+
 	ref, err := genome.NewReference(reference)
 	if err != nil {
-		return nil, MapStats{}, err
+		return nil, MapStats{}, nil, err
 	}
 	var calls []SNPCall
 	var stats MapStats
 	collect := make([][]SNPCall, nodes)
 	statsCh := make(chan MapStats, nodes)
+	// Written only by rank 0's node goroutine; read after RunWithConfig
+	// returns (which waits all goroutines out).
+	var gotSnaps []MetricsSnapshot
+	var gotDead []int
 
 	runCfg := cluster.RunConfig{
 		Kind:      transport,
@@ -545,41 +627,31 @@ func RunCluster(nodes int, transport Transport, mode SplitMode,
 		Fault:     opts.Cluster.Fault,
 	}
 	err = cluster.RunWithConfig(nodes, runCfg, func(c *cluster.Comm) error {
-		switch mode {
-		case ReadSplit:
-			acc, st, err := core.RunReadSplit(c, ref, reads, opts.Memory, opts.Engine)
-			if err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				statsCh <- st
-				cs, _, err := snp.CallAll(ref, acc, opts.Caller)
-				if err != nil {
-					return err
-				}
-				collect[0] = cs
-			}
-			return nil
-		case GenomeSplit:
-			acc, lo, hi, st, err := core.RunGenomeSplit(c, ref, reads, opts.Memory, opts.Engine)
-			if err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				statsCh <- st
-			}
-			cs, _, err := snp.CallRange(ref, acc, lo, lo, hi, opts.Caller)
-			if err != nil {
-				return err
-			}
-			collect[c.Rank()] = cs
-			return nil
-		default:
-			return fmt.Errorf("gnumap: unknown split mode %d", int(mode))
+		nodeOpts := opts
+		var reg *obs.Registry
+		if withMetrics {
+			reg = obs.NewRegistry()
+			nodeOpts.Engine.Metrics = reg
+			nodeOpts.Caller.Metrics = reg
+			c.SetMetrics(reg)
 		}
+		if err := runClusterNode(c, mode, ref, reads, nodeOpts, collect, statsCh); err != nil {
+			return err
+		}
+		if withMetrics {
+			c.PublishStats()
+			snaps, dead, err := core.GatherMetrics(c, reg.Snapshot(c.Rank()))
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				gotSnaps, gotDead = snaps, dead
+			}
+		}
+		return nil
 	})
 	if err != nil {
-		return nil, MapStats{}, err
+		return nil, MapStats{}, nil, err
 	}
 	close(statsCh)
 	for st := range statsCh {
@@ -588,5 +660,108 @@ func RunCluster(nodes int, transport Transport, mode SplitMode,
 	for _, cs := range collect {
 		calls = append(calls, cs...)
 	}
-	return calls, stats, nil
+	var report *MetricsReport
+	if withMetrics {
+		// Rank-independent activity (file I/O) rides along as a
+		// ProcessRank snapshot when there is any.
+		ioSnap := obs.Default().Snapshot(obs.ProcessRank)
+		if len(ioSnap.Counters)+len(ioSnap.Gauges)+len(ioSnap.Histograms) > 0 {
+			gotSnaps = append(gotSnaps, ioSnap)
+		}
+		report, err = obs.NewReport(gotSnaps, unionInts(gotDead, stats.LostRanks))
+		if err != nil {
+			return nil, MapStats{}, nil, err
+		}
+	}
+	return calls, stats, report, nil
+}
+
+// runClusterNode is one rank's work: map, then call (or collect LRT
+// candidates for the global FDR pass).
+func runClusterNode(c *cluster.Comm, mode SplitMode, ref *genome.Reference,
+	reads []*Read, opts Options, collect [][]SNPCall, statsCh chan MapStats) error {
+
+	switch mode {
+	case ReadSplit:
+		acc, st, err := core.RunReadSplit(c, ref, reads, opts.Memory, opts.Engine)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			statsCh <- st
+			cs, _, err := snp.CallAll(ref, acc, opts.Caller)
+			if err != nil {
+				return err
+			}
+			collect[0] = cs
+		}
+		return nil
+	case GenomeSplit:
+		acc, lo, hi, st, err := core.RunGenomeSplit(c, ref, reads, opts.Memory, opts.Engine)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			statsCh <- st
+		}
+		if opts.Caller.UseFDR {
+			// The Benjamini-Hochberg threshold for each hypothesis
+			// depends on the rank of its p-value in the FULL sorted list.
+			// Running CallRange per shard applied BH with shard-local
+			// lists and shard-local n, so genome-split call sets diverged
+			// from single-process runs. Gather the candidates and apply
+			// one global BH pass at rank 0 instead.
+			cands, _, err := snp.CollectRange(ref, acc, lo, lo, hi, opts.Caller)
+			if err != nil {
+				return err
+			}
+			all, err := c.Gather(0, cands)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				var merged []snp.Candidate
+				for r, v := range all {
+					part, ok := v.([]snp.Candidate)
+					if !ok {
+						return fmt.Errorf("gnumap: rank %d sent candidate payload %T", r, v)
+					}
+					merged = append(merged, part...)
+				}
+				cs, _, err := snp.FinalizeCalls(merged, opts.Caller)
+				if err != nil {
+					return err
+				}
+				collect[0] = cs
+			}
+			return nil
+		}
+		cs, _, err := snp.CallRange(ref, acc, lo, lo, hi, opts.Caller)
+		if err != nil {
+			return err
+		}
+		collect[c.Rank()] = cs
+		return nil
+	default:
+		return fmt.Errorf("gnumap: unknown split mode %d", int(mode))
+	}
+}
+
+// unionInts merges two int lists (duplicates removed; order left to
+// the consumer, which sorts).
+func unionInts(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, xs := range [2][]int{a, b} {
+		for _, x := range xs {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
 }

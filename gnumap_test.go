@@ -1,7 +1,10 @@
 package gnumap
 
 import (
+	"time"
+
 	"bytes"
+	"gnumap/internal/obs"
 	"strings"
 	"testing"
 )
@@ -483,5 +486,175 @@ func TestRepeatRegionSNPRecovery(t *testing.T) {
 	}
 	if bres.Discarded == 0 {
 		t.Error("baseline discarded nothing despite the exact duplication")
+	}
+}
+
+// TestGenomeSplitGlobalFDRMatchesSingleProcess pins the headline PR-3
+// bugfix: under Benjamini-Hochberg control the rejection threshold for
+// each position depends on the rank of its p-value in the FULL sorted
+// list, so applying BH per genome shard (shard-local list, shard-local
+// n) produced call sets that changed with the node count. The fix
+// gathers LRT candidates to rank 0 and runs one global BH pass, so a
+// genome-split run of any size must match a single-process run exactly.
+func TestGenomeSplitGlobalFDRMatchesSingleProcess(t *testing.T) {
+	ds, err := SimulateDataset(SimConfig{
+		GenomeLength: 40000,
+		SNPCount:     12,
+		Coverage:     5, // thin coverage: borderline p-values near the BH cut
+		Seed:         202,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Engine: EngineConfig{Workers: 1},
+		Caller: CallerConfig{UseFDR: true},
+	}
+	p, err := NewPipeline(ds.Reference, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MapReads(ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := p.Call()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("single-process FDR run produced no calls; test is vacuous")
+	}
+	for _, nodes := range []int{1, 4} {
+		calls, st, err := RunCluster(nodes, Channels, GenomeSplit, ds.Reference, ds.Reads, opts)
+		if err != nil {
+			t.Fatalf("np=%d: %v", nodes, err)
+		}
+		if st.Mapped+st.Unmapped != int64(len(ds.Reads)) {
+			t.Errorf("np=%d: stats cover %d reads, want %d", nodes, st.Mapped+st.Unmapped, len(ds.Reads))
+		}
+		if len(calls) != len(want) {
+			t.Fatalf("np=%d: %d calls vs single-process %d", nodes, len(calls), len(want))
+		}
+		for i := range want {
+			if calls[i].GlobalPos != want[i].GlobalPos || calls[i].Allele != want[i].Allele {
+				t.Errorf("np=%d: call %d differs: pos %d/%v vs want %d/%v", nodes, i,
+					calls[i].GlobalPos, calls[i].Allele, want[i].GlobalPos, want[i].Allele)
+			}
+		}
+	}
+}
+
+func TestRunClusterReportHealthy(t *testing.T) {
+	ds := dataset(t)
+	calls, st, report, err := RunClusterReport(3, Channels, GenomeSplit,
+		ds.Reference, ds.Reads, Options{Engine: EngineConfig{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Error("no calls from a healthy run")
+	}
+	if report == nil {
+		t.Fatal("nil metrics report")
+	}
+	if len(report.DeadRanks) != 0 {
+		t.Errorf("healthy run reports dead ranks %v", report.DeadRanks)
+	}
+	seen := map[int]bool{}
+	for _, s := range report.Ranks {
+		seen[s.Rank] = true
+	}
+	for r := 0; r < 3; r++ {
+		if !seen[r] {
+			t.Errorf("rank %d snapshot missing from report", r)
+		}
+	}
+	m := report.Merged
+	if got := m.Counters["map.mapped"] + m.Counters["map.unmapped"]; got != int64(len(ds.Reads)) {
+		t.Errorf("merged map.mapped+map.unmapped = %d, want %d", got, len(ds.Reads))
+	}
+	if m.Counters["map.mapped"] != st.Mapped {
+		t.Errorf("merged map.mapped = %d, MapStats.Mapped = %d", m.Counters["map.mapped"], st.Mapped)
+	}
+	if m.Counters["phmm.cells"] == 0 {
+		t.Error("merged phmm.cells is zero: alignment kernel not instrumented")
+	}
+	if m.Histograms["map.read.seconds"].Count == 0 {
+		t.Error("merged map.read.seconds histogram is empty")
+	}
+	if m.Gauges["comm.packets.sent"] == 0 {
+		t.Error("merged comm.packets.sent gauge is zero on a 3-rank run")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateReportJSON(buf.Bytes()); err != nil {
+		t.Errorf("report JSON fails validation: %v", err)
+	}
+}
+
+// TestRunClusterReportDegraded kills rank 2 mid read-split run and
+// demands a COMPLETE merged metrics report anyway: survivor snapshots
+// for ranks 0, 1, 3, the dead rank marked, and the merged mapping
+// counters still covering every read exactly once (the coordinator
+// reassigned the lost shard).
+func TestRunClusterReportDegraded(t *testing.T) {
+	ds := dataset(t)
+	opts := Options{
+		Engine: EngineConfig{Workers: 1},
+		Cluster: ClusterConfig{
+			OpTimeout: 300 * time.Millisecond,
+			Heartbeat: 15 * time.Millisecond,
+			Fault:     &FaultConfig{Seed: 9, CrashRank: 2},
+		},
+	}
+	calls, st, report, err := RunClusterReport(4, Channels, ReadSplit,
+		ds.Reference, ds.Reads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Degraded() {
+		t.Fatal("run did not degrade: crash injection not effective")
+	}
+	if len(calls) == 0 {
+		t.Error("degraded run produced no calls")
+	}
+	if report == nil {
+		t.Fatal("nil metrics report")
+	}
+	if len(report.DeadRanks) != 1 || report.DeadRanks[0] != 2 {
+		t.Errorf("DeadRanks = %v, want [2]", report.DeadRanks)
+	}
+	seen := map[int]bool{}
+	for _, s := range report.Ranks {
+		seen[s.Rank] = true
+	}
+	for _, r := range []int{0, 1, 3} {
+		if !seen[r] {
+			t.Errorf("survivor rank %d snapshot missing from report", r)
+		}
+	}
+	if seen[2] {
+		t.Error("dead rank 2 has a snapshot in the report")
+	}
+	m := report.Merged
+	if got := m.Counters["map.mapped"] + m.Counters["map.unmapped"]; got != int64(len(ds.Reads)) {
+		t.Errorf("merged survivors mapped %d reads, want %d (lost shard not reassigned?)", got, len(ds.Reads))
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateReportJSON(buf.Bytes()); err != nil {
+		t.Errorf("degraded report JSON fails validation: %v", err)
+	}
+	// The human summary must surface the loss.
+	buf.Reset()
+	if err := report.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DEAD ranks [2]") {
+		t.Errorf("text summary does not flag the dead rank:\n%s", buf.String())
 	}
 }

@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gnumap/internal/obs"
 )
 
 func init() {
@@ -137,6 +139,76 @@ type Comm struct {
 	timeouts atomic.Int64
 	hbSent   atomic.Int64
 	hbSeen   atomic.Int64
+
+	// met holds the observability handles installed by SetMetrics (nil
+	// = instrumentation off; the messaging paths pay one pointer check).
+	met *commMetrics
+}
+
+// commMetrics pre-resolves the point-to-point handles (hot path) and
+// keeps the registry for the per-collective timers (cold path).
+type commMetrics struct {
+	reg       *obs.Registry
+	sendSec   *obs.Histogram
+	recvSec   *obs.Histogram
+	sendBytes *obs.Counter
+	recvBytes *obs.Counter
+	sendCount *obs.Counter
+	recvCount *obs.Counter
+}
+
+// SetMetrics installs a metrics registry on this endpoint. Point-to-
+// point traffic records comm.send.seconds / comm.recv.seconds latency
+// histograms and comm.send.bytes / comm.recv.bytes / comm.send.count /
+// comm.recv.count counters; each collective records a wall-time
+// histogram comm.coll.<name>.seconds. Pass nil to disable.
+func (c *Comm) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		c.met = nil
+		return
+	}
+	c.met = &commMetrics{
+		reg:       reg,
+		sendSec:   reg.Timer("comm.send.seconds"),
+		recvSec:   reg.Timer("comm.recv.seconds"),
+		sendBytes: reg.Counter("comm.send.bytes"),
+		recvBytes: reg.Counter("comm.recv.bytes"),
+		sendCount: reg.Counter("comm.send.count"),
+		recvCount: reg.Counter("comm.recv.count"),
+	}
+}
+
+// collTimer returns a stop func timing one collective (no-op when
+// instrumentation is off). Collectives are per-batch, not per-message,
+// so the registry lookup here is off the hot path.
+func (c *Comm) collTimer(name string) func() {
+	if c.met == nil {
+		return func() {}
+	}
+	return c.met.reg.StartTimer("comm.coll." + name + ".seconds")
+}
+
+// PublishStats bridges the CommStats counters into the installed
+// registry as gauges (comm.retries, comm.timeouts, comm.heartbeats.*,
+// comm.packets.*), so a snapshot carries the full communication
+// picture. Call once per rank, just before snapshotting.
+func (c *Comm) PublishStats() {
+	if c.met == nil {
+		return
+	}
+	st := c.Stats()
+	var sent, recvd int64
+	for r := 0; r < c.size; r++ {
+		sent += st.SentTo[r]
+		recvd += st.RecvFrom[r]
+	}
+	reg := c.met.reg
+	reg.Gauge("comm.packets.sent").Set(float64(sent))
+	reg.Gauge("comm.packets.recv").Set(float64(recvd))
+	reg.Gauge("comm.retries").Set(float64(st.Retries))
+	reg.Gauge("comm.timeouts").Set(float64(st.Timeouts))
+	reg.Gauge("comm.heartbeats.sent").Set(float64(st.HeartbeatsSent))
+	reg.Gauge("comm.heartbeats.seen").Set(float64(st.HeartbeatsSeen))
 }
 
 // newComm builds a rank endpoint with the run's fault-model settings.
@@ -290,6 +362,10 @@ func (c *Comm) send(to, tag int, payload any, op string) error {
 	if to == c.rank {
 		return fmt.Errorf("cluster: rank %d sending to itself", c.rank)
 	}
+	var t0 time.Time
+	if c.met != nil {
+		t0 = time.Now()
+	}
 	data, err := encode(payload)
 	if err != nil {
 		return rankErr(to, op, err)
@@ -301,6 +377,11 @@ func (c *Comm) send(to, tag int, payload any, op string) error {
 		return rankErr(to, op, err)
 	}
 	c.sentTo[to].Add(1)
+	if c.met != nil {
+		c.met.sendSec.ObserveDuration(time.Since(t0))
+		c.met.sendBytes.Add(int64(len(data)))
+		c.met.sendCount.Inc()
+	}
 	return nil
 }
 
@@ -348,10 +429,15 @@ func (c *Comm) recvTimeout(from, tag int, timeout time.Duration, op string) (any
 	if c.localCrashed() {
 		return nil, rankErr(c.rank, op, ErrCrashed)
 	}
+	var t0 time.Time
+	if c.met != nil {
+		t0 = time.Now()
+	}
 	for i, p := range c.pending {
 		if p.From == from && p.Tag == tag {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			c.recvFrom[from].Add(1)
+			c.noteRecvMetrics(t0, len(p.Data))
 			v, err := decode(p.Data)
 			return v, rankErr(from, op, err)
 		}
@@ -379,6 +465,7 @@ func (c *Comm) recvTimeout(from, tag int, timeout time.Duration, op string) (any
 			}
 			if p.From == from && p.Tag == tag {
 				c.recvFrom[from].Add(1)
+				c.noteRecvMetrics(t0, len(p.Data))
 				v, err := decode(p.Data)
 				return v, rankErr(from, op, err)
 			}
@@ -394,6 +481,17 @@ func (c *Comm) recvTimeout(from, tag int, timeout time.Duration, op string) (any
 			return nil, rankErr(from, op, ErrTimeout)
 		}
 	}
+}
+
+// noteRecvMetrics records one matched receive (latency from recv entry
+// to match, plus payload size).
+func (c *Comm) noteRecvMetrics(t0 time.Time, nbytes int) {
+	if c.met == nil {
+		return
+	}
+	c.met.recvSec.ObserveDuration(time.Since(t0))
+	c.met.recvBytes.Add(int64(nbytes))
+	c.met.recvCount.Inc()
 }
 
 // RecvPatient receives like RecvTimeout but, when heartbeats are
@@ -429,6 +527,7 @@ func (c *Comm) nextCollTag() int {
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
+	defer c.collTimer("barrier")()
 	tagUp := c.nextCollTag()
 	tagDown := c.nextCollTag()
 	if c.size == 1 {
@@ -457,6 +556,7 @@ func (c *Comm) Barrier() error {
 // Broadcast distributes root's payload to every rank; every rank
 // returns the (decoded) value. Non-root ranks may pass nil.
 func (c *Comm) Broadcast(root int, payload any) (any, error) {
+	defer c.collTimer("broadcast")()
 	tag := c.nextCollTag()
 	if root < 0 || root >= c.size {
 		return nil, fmt.Errorf("cluster: broadcast root %d of %d", root, c.size)
@@ -481,6 +581,7 @@ func (c *Comm) Broadcast(root int, payload any) (any, error) {
 // Gather collects every rank's payload at root. At root the returned
 // slice is indexed by rank; elsewhere it is nil.
 func (c *Comm) Gather(root int, payload any) ([]any, error) {
+	defer c.collTimer("gather")()
 	tag := c.nextCollTag()
 	if root < 0 || root >= c.size {
 		return nil, fmt.Errorf("cluster: gather root %d of %d", root, c.size)
@@ -507,6 +608,7 @@ func (c *Comm) Gather(root int, payload any) ([]any, error) {
 // returns its own part. parts is only read at root and must have one
 // entry per rank there.
 func (c *Comm) Scatter(root int, parts []any) (any, error) {
+	defer c.collTimer("scatter")()
 	tag := c.nextCollTag()
 	if root < 0 || root >= c.size {
 		return nil, fmt.Errorf("cluster: scatter root %d of %d", root, c.size)
@@ -731,6 +833,7 @@ func MaxFloat64s(a, b any) (any, error) {
 // commutative (pairings depend on tree shape). The result is returned
 // at root and nil elsewhere.
 func (c *Comm) ReduceTree(root int, payload any, op ReduceOp) (any, error) {
+	defer c.collTimer("reduce-tree")()
 	tag := c.nextCollTag()
 	if root < 0 || root >= c.size {
 		return nil, fmt.Errorf("cluster: reduce root %d of %d", root, c.size)

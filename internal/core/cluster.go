@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"gnumap/internal/cluster"
 	"gnumap/internal/fastq"
@@ -205,9 +206,16 @@ func RunGenomeSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read,
 			localMax[i] = math.Inf(-1)
 		}
 		for i := 0; i < b; i++ {
+			var tRead time.Time
+			if m.met != nil {
+				tRead = time.Now()
+			}
 			locs, err := m.mapRead(reads[base+i])
 			if err != nil {
 				return nil, 0, 0, st, err
+			}
+			if m.met != nil {
+				m.met.readSec.ObserveDuration(time.Since(tRead))
 			}
 			// mapRead's result — including every contribs slice, which
 			// is carved from the mapper's reusable arena — aliases the
@@ -306,6 +314,15 @@ func RunGenomeSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read,
 				applySliceContribution(acc, lo, hi, L, size, l, w, spills)
 			}
 		}
+	}
+	// The genome-split path drives mapRead directly rather than going
+	// through MapReads, so mirror its read-level metric accounting here
+	// (local counts: mapped/unmapped are nonzero only at rank 0, which
+	// counts each read once globally).
+	if m.met != nil {
+		m.met.mapped.Add(st.Mapped)
+		m.met.unmapped.Add(st.Unmapped)
+		m.met.locations.Add(st.Locations)
 	}
 	// Boundary exchange: everyone sends every other rank its spill
 	// (possibly empty), then receives.
@@ -569,9 +586,7 @@ func ftCoordinator(c *cluster.Comm, eng *Engine, acc genome.Accumulator, mode ge
 		if err := mergeStateInto(acc, mode, refLen, res.State); err != nil {
 			return err
 		}
-		st.Mapped += res.Stats.Mapped
-		st.Unmapped += res.Stats.Unmapped
-		st.Locations += res.Stats.Locations
+		st.add(res.Stats)
 		return nil
 	}
 
@@ -599,9 +614,7 @@ func ftCoordinator(c *cluster.Comm, eng *Engine, acc genome.Accumulator, mode ge
 			if err != nil {
 				return nil, st, err
 			}
-			st.Mapped += sst.Mapped
-			st.Unmapped += sst.Unmapped
-			st.Locations += sst.Locations
+			st.add(sst)
 			continue
 		}
 		w := survivors[next%len(survivors)]
@@ -623,7 +636,7 @@ func ftCoordinator(c *cluster.Comm, eng *Engine, acc genome.Accumulator, mode ge
 		}
 	}
 
-	st.LostRanks = lost
+	st.LostRanks = unionRanks(st.LostRanks, lost)
 	for _, w := range survivors {
 		// A survivor that dies right here misses only the Done message;
 		// ignore the failure rather than aborting a finished run.

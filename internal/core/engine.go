@@ -19,13 +19,16 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gnumap/internal/dna"
 	"gnumap/internal/fastq"
 	"gnumap/internal/genome"
 	"gnumap/internal/kmer"
+	"gnumap/internal/obs"
 	"gnumap/internal/phmm"
 	"gnumap/internal/pwm"
 )
@@ -85,6 +88,15 @@ type Config struct {
 	// BestHitOnly keeps only the highest-likelihood location per read
 	// (ablation of multi-location posterior weighting).
 	BestHitOnly bool
+	// Metrics, when non-nil, receives the engine's stage timers and
+	// counters: map.seed.seconds (PWM build + candidate lookup),
+	// map.align.seconds (Pair-HMM over all of a read's candidates),
+	// map.accum.seconds (accumulator updates), map.read.seconds
+	// (whole-read latency), plus map.candidates / map.alignments /
+	// map.mapped / map.unmapped / map.locations and phmm.cells (DP
+	// cells computed). Nil disables instrumentation; the hot path then
+	// pays only a pointer check.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -157,10 +169,69 @@ type Stats struct {
 func (s Stats) Degraded() bool { return len(s.LostRanks) > 0 }
 
 // add merges another Stats (used when aggregating across nodes).
+// LostRanks is the union of both sides (deduped, sorted): dropping it
+// here silently cleared Degraded() whenever per-node stats were folded
+// together, hiding a degraded run from the caller.
 func (s *Stats) add(o Stats) {
 	s.Mapped += o.Mapped
 	s.Unmapped += o.Unmapped
 	s.Locations += o.Locations
+	s.LostRanks = unionRanks(s.LostRanks, o.LostRanks)
+}
+
+// unionRanks merges two rank lists into a sorted, deduplicated union.
+// Returns nil when both inputs are empty so healthy Stats stay
+// comparable to their zero value.
+func unionRanks(a, b []int) []int {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	out := make([]int, 0, len(a)+len(b))
+	for _, lists := range [2][]int{a, b} {
+		for _, r := range lists {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// engineMetrics pre-resolves the engine's metric handles once at
+// construction so the mapping hot path never touches the registry's
+// name map; every update is a single atomic op.
+type engineMetrics struct {
+	seedSec, alignSec, accumSec, readSec *obs.Histogram
+	candidates, alignments, cells        *obs.Counter
+	mapped, unmapped, locations          *obs.Counter
+}
+
+// alignmentsInc is a nil-safe helper for the inner align loop.
+func (em *engineMetrics) alignmentsInc() {
+	if em != nil {
+		em.alignments.Inc()
+	}
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		seedSec:    reg.Timer("map.seed.seconds"),
+		alignSec:   reg.Timer("map.align.seconds"),
+		accumSec:   reg.Timer("map.accum.seconds"),
+		readSec:    reg.Timer("map.read.seconds"),
+		candidates: reg.Counter("map.candidates"),
+		alignments: reg.Counter("map.alignments"),
+		cells:      reg.Counter("phmm.cells"),
+		mapped:     reg.Counter("map.mapped"),
+		unmapped:   reg.Counter("map.unmapped"),
+		locations:  reg.Counter("map.locations"),
+	}
 }
 
 // Engine maps reads against one reference (or reference slice).
@@ -170,6 +241,8 @@ type Engine struct {
 	band int
 	ref  *genome.Reference
 	idx  *kmer.Index
+	// met is nil when Config.Metrics is nil — instrumentation off.
+	met *engineMetrics
 	// indexOffset is the global position of idx position 0 (non-zero
 	// for genome-split nodes indexing a slice).
 	indexOffset int
@@ -205,7 +278,7 @@ func newEngineSlice(ref *genome.Reference, lo, hi int, cfg Config) (*Engine, err
 		return nil, err
 	}
 	return &Engine{
-		cfg: cfg, band: cfg.effectiveBand(),
+		cfg: cfg, band: cfg.effectiveBand(), met: newEngineMetrics(cfg.Metrics),
 		ref: ref, idx: idx, indexOffset: lo, ownLo: 0, ownHi: ref.Len(),
 	}, nil
 }
@@ -242,8 +315,12 @@ type scoredCand struct {
 type mapper struct {
 	e       *Engine
 	aligner *phmm.Aligner
-	locs    []location
-	totals  []float64
+	// met aliases e.met; lastCells tracks the aligner's cumulative DP
+	// cell count so each read publishes only its delta.
+	met       *engineMetrics
+	lastCells int64
+	locs      []location
+	totals    []float64
 	// Per-read scratch.
 	fwdPWM, revPWM pwm.Matrix
 	candBuf        kmer.CandidateBuf
@@ -282,7 +359,7 @@ func (e *Engine) newMapper() (*mapper, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &mapper{e: e, aligner: al}, nil
+	return &mapper{e: e, aligner: al, met: e.met}, nil
 }
 
 // mapRead computes the accepted locations of one read with raw
@@ -292,6 +369,10 @@ func (e *Engine) newMapper() (*mapper, error) {
 func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 	m.locs = m.locs[:0]
 	m.arenaOff = 0
+	var t0 time.Time
+	if m.met != nil {
+		t0 = time.Now()
+	}
 	if err := rd.Validate(); err != nil {
 		return nil, nil // malformed read: unmapped, not fatal
 	}
@@ -340,6 +421,14 @@ func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 		}
 	}
 	m.scored = cands
+	// The seed phase ends here: PWM construction plus k-mer candidate
+	// lookup on both strands. Everything below is the align phase.
+	var tSeed time.Time
+	if m.met != nil {
+		tSeed = time.Now()
+		m.met.seedSec.ObserveDuration(tSeed.Sub(t0))
+		m.met.candidates.Add(int64(len(cands)))
+	}
 	voteCut := int32(e.cfg.MinVoteFraction * float64(bestVotes))
 	for _, cs := range cands {
 		cand := cs.cand
@@ -369,6 +458,13 @@ func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 			return nil, err
 		}
 	}
+	if m.met != nil {
+		m.met.alignSec.ObserveDuration(time.Since(tSeed))
+		if c := m.aligner.CellsComputed(); c != m.lastCells {
+			m.met.cells.Add(c - m.lastCells)
+			m.lastCells = c
+		}
+	}
 	return m.locs, nil
 }
 
@@ -379,6 +475,7 @@ func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen, di
 	if e.cfg.ViterbiOnly {
 		return m.viterbiAt(p, window, windowStart, readLen, diag, minus)
 	}
+	m.met.alignmentsInc()
 	res, err := m.aligner.AlignBanded(p, window, diag, e.band)
 	if err == phmm.ErrNoAlignment {
 		return nil
@@ -421,6 +518,7 @@ func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen, di
 // viterbiAt is the single-best-path ablation: the best alignment's
 // matched bases contribute deterministically (probability one each).
 func (m *mapper) viterbiAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen, diag int, minus bool) error {
+	m.met.alignmentsInc()
 	path, err := m.aligner.ViterbiBanded(p, window, diag, m.e.band)
 	if err == phmm.ErrNoAlignment {
 		return nil
@@ -555,7 +653,12 @@ func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset
 				if hi > int64(len(reads)) {
 					hi = int64(len(reads))
 				}
+				met := m.met
 				for _, rd := range reads[lo:hi] {
+					var tRead time.Time
+					if met != nil {
+						tRead = time.Now()
+					}
 					locs, err := m.mapRead(rd)
 					if err != nil {
 						errMu.Lock()
@@ -567,17 +670,34 @@ func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset
 					}
 					if len(locs) == 0 {
 						atomic.AddInt64(&st.Unmapped, 1)
+						if met != nil {
+							met.unmapped.Inc()
+							met.readSec.ObserveDuration(time.Since(tRead))
+						}
 						continue
 					}
 					atomic.AddInt64(&st.Mapped, 1)
 					ws := e.weights(locs, m.wbuf)
 					m.wbuf = ws
+					var tAcc time.Time
+					if met != nil {
+						tAcc = time.Now()
+					}
+					accepted := int64(0)
 					for i, loc := range locs {
 						if ws[i] == 0 {
 							continue
 						}
-						atomic.AddInt64(&st.Locations, 1)
+						accepted++
 						acc.AddRange(loc.windowStart-accOffset, loc.contribs, ws[i])
+					}
+					atomic.AddInt64(&st.Locations, accepted)
+					if met != nil {
+						now := time.Now()
+						met.accumSec.ObserveDuration(now.Sub(tAcc))
+						met.readSec.ObserveDuration(now.Sub(tRead))
+						met.mapped.Inc()
+						met.locations.Add(accepted)
 					}
 				}
 			}

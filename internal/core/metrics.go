@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"gnumap/internal/cluster"
+	"gnumap/internal/obs"
+)
+
+func init() {
+	gob.Register(obs.Snapshot{})
+}
+
+// ftMetricsTag carries per-rank metric snapshots to rank 0 at the end
+// of a run. It sits in the FT control tag block (1001/1002), clear of
+// the genome-split spill tag (17).
+const ftMetricsTag = 1003
+
+// GatherMetrics collects every rank's metrics snapshot at rank 0. With
+// no op timeout configured it is a plain Gather (every rank must call
+// it). With deadlines configured it is failure-aware: workers fire
+// their snapshot at rank 0 and return; rank 0 waits patiently for each
+// worker, classifying communication loss as a dead rank rather than an
+// error — a degraded run still yields a report covering the survivors.
+//
+// At rank 0 the returned snapshots are the ones received (always
+// including rank 0's own) and dead lists the ranks whose snapshots
+// never arrived; elsewhere both are nil.
+func GatherMetrics(c *cluster.Comm, snap obs.Snapshot) (snaps []obs.Snapshot, dead []int, err error) {
+	if c.OpTimeout() <= 0 {
+		vals, err := c.Gather(0, snap)
+		if err != nil {
+			return nil, nil, err
+		}
+		if c.Rank() != 0 {
+			return nil, nil, nil
+		}
+		for r, v := range vals {
+			s, ok := v.(obs.Snapshot)
+			if !ok {
+				return nil, nil, fmt.Errorf("core: rank %d sent metrics payload %T", r, v)
+			}
+			snaps = append(snaps, s)
+		}
+		return snaps, nil, nil
+	}
+	if c.Rank() != 0 {
+		// Best-effort: a dying coordinator must not turn a finished
+		// worker's run into an error over a metrics report.
+		_ = c.Send(0, ftMetricsTag, snap)
+		return nil, nil, nil
+	}
+	snaps = append(snaps, snap)
+	for r := 1; r < c.Size(); r++ {
+		v, err := c.RecvPatient(r, ftMetricsTag, c.OpTimeout(), ftMaxExtensions)
+		if err != nil {
+			if isCommLoss(err) {
+				dead = append(dead, r)
+				continue
+			}
+			return nil, nil, err
+		}
+		s, ok := v.(obs.Snapshot)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: rank %d sent metrics payload %T", r, v)
+		}
+		snaps = append(snaps, s)
+	}
+	sort.Ints(dead)
+	return snaps, dead, nil
+}

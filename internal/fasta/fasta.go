@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"gnumap/internal/dna"
+	"gnumap/internal/obs"
 )
 
 // Record is a single FASTA record.
@@ -164,8 +165,10 @@ func ReadAll(r io.Reader) ([]*Record, error) {
 }
 
 // ReadFile parses every record from the named file. Files ending in
-// .gz are transparently decompressed.
+// .gz are transparently decompressed. Wall time and volume land in the
+// process-wide registry as io.fasta.read.{seconds,records,bases}.
 func ReadFile(path string) ([]*Record, error) {
+	defer obs.Default().StartTimer("io.fasta.read.seconds")()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -180,7 +183,16 @@ func ReadFile(path string) ([]*Record, error) {
 		defer gz.Close()
 		r = gz
 	}
-	return ReadAll(r)
+	recs, err := ReadAll(r)
+	if err == nil {
+		bases := 0
+		for _, rec := range recs {
+			bases += len(rec.Seq)
+		}
+		obs.Default().Counter("io.fasta.read.records").Add(int64(len(recs)))
+		obs.Default().Counter("io.fasta.read.bases").Add(int64(bases))
+	}
+	return recs, err
 }
 
 // Writer writes FASTA records with a fixed line width.
@@ -231,8 +243,11 @@ func (w *Writer) Write(rec *Record) error {
 func (w *Writer) Flush() error { return w.w.Flush() }
 
 // WriteFile writes all records to the named file. Files ending in .gz
-// are transparently compressed.
+// are transparently compressed. Wall time and volume land in the
+// process-wide registry as io.fasta.write.{seconds,records}.
 func WriteFile(path string, recs []*Record) error {
+	defer obs.Default().StartTimer("io.fasta.write.seconds")()
+	obs.Default().Counter("io.fasta.write.records").Add(int64(len(recs)))
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"gnumap/internal/dna"
+	"gnumap/internal/obs"
 )
 
 // Encoding selects the ASCII offset used to encode Phred scores.
@@ -200,8 +201,10 @@ func ReadAll(r io.Reader, enc Encoding) ([]*Read, error) {
 }
 
 // ReadFile parses every read from the named file. Files ending in .gz
-// are transparently decompressed.
+// are transparently decompressed. Wall time and volume land in the
+// process-wide registry as io.fastq.read.{seconds,records,bases}.
 func ReadFile(path string, enc Encoding) ([]*Read, error) {
+	defer obs.Default().StartTimer("io.fastq.read.seconds")()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -216,7 +219,16 @@ func ReadFile(path string, enc Encoding) ([]*Read, error) {
 		defer gz.Close()
 		r = gz
 	}
-	return ReadAll(r, enc)
+	reads, err := ReadAll(r, enc)
+	if err == nil {
+		bases := 0
+		for _, rd := range reads {
+			bases += len(rd.Seq)
+		}
+		obs.Default().Counter("io.fastq.read.records").Add(int64(len(reads)))
+		obs.Default().Counter("io.fastq.read.bases").Add(int64(bases))
+	}
+	return reads, err
 }
 
 // Writer writes FASTQ records.
@@ -256,8 +268,11 @@ func (w *Writer) Write(rd *Read) error {
 func (w *Writer) Flush() error { return w.w.Flush() }
 
 // WriteFile writes all reads to the named file. Files ending in .gz
-// are transparently compressed.
+// are transparently compressed. Wall time and volume land in the
+// process-wide registry as io.fastq.write.{seconds,records}.
 func WriteFile(path string, reads []*Read, enc Encoding) error {
+	defer obs.Default().StartTimer("io.fastq.write.seconds")()
+	obs.Default().Counter("io.fastq.write.records").Add(int64(len(reads)))
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -45,6 +45,11 @@ type Aligner struct {
 	diag   int
 	radius int
 
+	// cells accumulates the DP cells computed (per pass geometry, not
+	// per pass count) across the aligner's lifetime — the kernel-work
+	// measure observability reports as phmm.cells.
+	cells int64
+
 	// res is the reusable Result returned by Align; vres/path/ops are
 	// the Viterbi DP state and reusable output (see viterbi.go).
 	res Result
@@ -71,6 +76,12 @@ func (a *Aligner) Params() Params { return a.params }
 
 // Mode returns the aligner's boundary-condition mode.
 func (a *Aligner) Mode() Mode { return a.mode }
+
+// CellsComputed returns the cumulative DP cells this aligner has
+// computed across all Align/Viterbi calls (band geometry per call, so a
+// banded call counts only its in-band cells). Callers tracking per-read
+// work should difference successive values.
+func (a *Aligner) CellsComputed() int64 { return a.cells }
 
 // Result is a completed forward-backward alignment. It is a view into
 // the Aligner's buffers: valid only until the next Align call on the
@@ -170,6 +181,7 @@ func (a *Aligner) AlignBanded(x *pwm.Matrix, y dna.Seq, diag, band int) (*Result
 	a.banded = band > 0
 	a.diag = diag
 	a.radius = band / 2
+	a.cells += int64(BandCells(n, m, diag, band))
 	a.resize(n, m)
 	a.fillEmissions(x, y, n, m)
 	if err := a.forward(n, m); err != nil {

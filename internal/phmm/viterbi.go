@@ -103,6 +103,7 @@ func (a *Aligner) ViterbiBanded(x *pwm.Matrix, y dna.Seq, diag, band int) (*Path
 	a.banded = band > 0
 	a.diag = diag
 	a.radius = band / 2
+	a.cells += int64(BandCells(n, m, diag, band))
 	p := a.params
 	w := m + 1
 	size := (n + 1) * w

@@ -140,8 +140,13 @@ type CoverageStats struct {
 	// mass >= 1, 4, and 10 — the resequencing community's standard
 	// "breadth of coverage at N×".
 	Breadth1, Breadth4, Breadth10 float64
-	// Hist counts positions per integer depth bucket; the last bucket
-	// collects everything at or above len(Hist)-1.
+	// Hist counts positions per integer depth bucket, where a
+	// position's bucket is its posterior depth rounded to the NEAREST
+	// integer (half away from zero) — not truncated. Truncation put
+	// every position with depth in (0, 1) in the 0x bucket, which
+	// contradicted the Breadth fields' >= thresholds and made the
+	// histogram's zero bucket overstate uncovered genome. The last
+	// bucket collects everything at or above len(Hist)-1.
 	Hist []int64
 }
 
@@ -173,7 +178,9 @@ func SummarizeCoverage(acc genome.Accumulator, maxBucket int) CoverageStats {
 		if d >= 10 {
 			b10++
 		}
-		bucket := int(d)
+		// Nearest-integer bucketing (see Hist doc): posterior depth is
+		// fractional, and int(d) would misfile depth 0.9 as "0x".
+		bucket := int(math.Round(d))
 		if bucket > maxBucket {
 			bucket = maxBucket
 		}

@@ -123,6 +123,30 @@ func TestSummarizeCoverage(t *testing.T) {
 	}
 }
 
+// TestSummarizeCoverageFractionalDepth pins the nearest-integer
+// histogram convention: posterior depth is fractional, and the old
+// int(d) truncation filed depth 0.9 under "0x" (while Breadth1 only
+// counts d >= 1), overstating uncovered genome.
+func TestSummarizeCoverageFractionalDepth(t *testing.T) {
+	acc, err := genome.New(genome.Norm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depths: 0.9 (rounds to 1), 0.4 (rounds to 0), 1.5 (rounds to 2),
+	// and 0 (untouched).
+	acc.AddRange(0, []genome.Vec{{0.9, 0, 0, 0, 0}}, 1)
+	acc.AddRange(1, []genome.Vec{{0.4, 0, 0, 0, 0}}, 1)
+	acc.AddRange(2, []genome.Vec{{1.5, 0, 0, 0, 0}}, 1)
+	st := SummarizeCoverage(acc, 8)
+	if st.Hist[0] != 2 || st.Hist[1] != 1 || st.Hist[2] != 1 {
+		t.Errorf("hist = %v, want [2 1 1 0 ...]", st.Hist)
+	}
+	// Breadth thresholds stay exact >=, unaffected by bucket rounding.
+	if math.Abs(st.Breadth1-0.25) > 1e-6 {
+		t.Errorf("breadth1 = %v, want 0.25", st.Breadth1)
+	}
+}
+
 func TestSummarizeCoverageOverflowBucket(t *testing.T) {
 	acc, _ := genome.New(genome.Norm, 2)
 	for i := 0; i < 100; i++ {

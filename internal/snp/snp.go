@@ -15,6 +15,7 @@ import (
 	"gnumap/internal/dna"
 	"gnumap/internal/genome"
 	"gnumap/internal/lrt"
+	"gnumap/internal/obs"
 	"gnumap/internal/simulate"
 	"gnumap/internal/stats"
 )
@@ -66,6 +67,10 @@ type Config struct {
 	// heterozygotes sit near 0.5. This is the allele-balance filter
 	// every production genotyper applies in some form.
 	MinHetMinorFraction float64
+	// Metrics, when non-nil, receives the caller's stage timers and
+	// counters (call.collect.seconds, call.finalize.seconds,
+	// call.tested, call.significant, call.snps).
+	Metrics *obs.Registry
 }
 
 // withDefaults fills zero values.
@@ -94,16 +99,31 @@ type Stats struct {
 	SNPs int
 }
 
-// CallRange runs the LRT caller over global positions [from, to) of the
+// Candidate is one tested position awaiting the significance
+// decision: the provisional call plus the LRT fields finalization
+// needs (runner-up allele, allele balance). Candidates are plain data
+// so a distributed run can gather every shard's candidates at rank 0
+// and apply ONE global multiple-testing correction — Benjamini–
+// Hochberg depends on the full ranked p-value list, so a per-shard
+// pass changes the calls with the shard count.
+type Candidate struct {
+	Call          Call
+	Second        dna.Channel
+	MinorFraction float64
+}
+
+// CollectRange runs the LRT over global positions [from, to) of the
 // accumulator, offset mapping accumulator index 0 to global position
-// `offset` (non-zero in genome-split mode). It returns SNP calls sorted
-// by position.
-func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to int, cfg Config) ([]Call, Stats, error) {
+// `offset` (non-zero in genome-split mode), and returns every tested
+// position as a Candidate. Stats has Tested filled; significance is
+// decided by FinalizeCalls.
+func CollectRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to int, cfg Config) ([]Candidate, Stats, error) {
 	cfg = cfg.withDefaults()
 	var st Stats
 	if ref == nil || acc == nil {
 		return nil, st, fmt.Errorf("snp: nil reference or accumulator")
 	}
+	defer cfg.Metrics.StartTimer("call.collect.seconds")()
 	if from < offset {
 		from = offset
 	}
@@ -113,15 +133,7 @@ func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to i
 	if to > ref.Len() {
 		to = ref.Len()
 	}
-	cutoff, err := lrt.AdjustedPValueCutoff(cfg.Alpha)
-	if err != nil {
-		return nil, st, err
-	}
-	type tested struct {
-		call Call
-		res  lrt.Result
-	}
-	var candidates []tested
+	var candidates []Candidate
 	for g := from; g < to; g++ {
 		v := acc.Vector(g - offset)
 		var depth float64
@@ -145,8 +157,8 @@ func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to i
 			// Inter-contig spacer positions are not callable.
 			continue
 		}
-		candidates = append(candidates, tested{
-			call: Call{
+		candidates = append(candidates, Candidate{
+			Call: Call{
 				Contig:    contig,
 				Pos:       local,
 				GlobalPos: g,
@@ -158,16 +170,34 @@ func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to i
 				PValue:    res.PValue,
 				Depth:     depth,
 			},
-			res: res,
+			Second:        res.Second,
+			MinorFraction: res.MinorFraction,
 		})
 	}
-	// Decide significance: fixed adjusted cutoff, or BH over the
-	// tested positions.
+	cfg.Metrics.Counter("call.tested").Add(int64(st.Tested))
+	return candidates, st, nil
+}
+
+// FinalizeCalls applies the significance decision — the fixed
+// adjusted cutoff, or one Benjamini–Hochberg pass across ALL given
+// candidates — plus the het allele-balance filter, and returns the
+// SNP calls sorted by position. The candidate set must cover the
+// whole tested family: in a distributed run, gather every shard's
+// candidates before calling this (BH's per-hypothesis threshold
+// depends on the global ranked p-value list).
+func FinalizeCalls(candidates []Candidate, cfg Config) ([]Call, Stats, error) {
+	cfg = cfg.withDefaults()
+	st := Stats{Tested: len(candidates)}
+	defer cfg.Metrics.StartTimer("call.finalize.seconds")()
+	cutoff, err := lrt.AdjustedPValueCutoff(cfg.Alpha)
+	if err != nil {
+		return nil, st, err
+	}
 	significant := make([]bool, len(candidates))
 	if cfg.UseFDR {
 		ps := make([]float64, len(candidates))
 		for i, c := range candidates {
-			ps[i] = c.call.PValue
+			ps[i] = c.Call.PValue
 		}
 		significant, err = stats.RejectFDR(ps, cfg.Alpha)
 		if err != nil {
@@ -175,7 +205,7 @@ func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to i
 		}
 	} else {
 		for i, c := range candidates {
-			significant[i] = c.call.PValue <= cutoff
+			significant[i] = c.Call.PValue <= cutoff
 		}
 	}
 	var calls []Call
@@ -184,10 +214,10 @@ func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to i
 			continue
 		}
 		st.Significant++
-		call := c.call
+		call := c.Call
 		if call.Het {
-			call.Allele2 = c.res.Second
-			if cfg.MinHetMinorFraction > 0 && c.res.MinorFraction < cfg.MinHetMinorFraction {
+			call.Allele2 = c.Second
+			if cfg.MinHetMinorFraction > 0 && c.MinorFraction < cfg.MinHetMinorFraction {
 				// Allele balance too skewed for a genuine het: demote
 				// to the homozygous top allele.
 				call.Het = false
@@ -200,7 +230,30 @@ func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to i
 		}
 	}
 	sort.Slice(calls, func(i, j int) bool { return calls[i].GlobalPos < calls[j].GlobalPos })
+	cfg.Metrics.Counter("call.significant").Add(int64(st.Significant))
+	cfg.Metrics.Counter("call.snps").Add(int64(st.SNPs))
 	return calls, st, nil
+}
+
+// CallRange runs the LRT caller over global positions [from, to) of the
+// accumulator, offset mapping accumulator index 0 to global position
+// `offset` (non-zero in genome-split mode). It returns SNP calls sorted
+// by position. The tested family — over which FDR control applies — is
+// exactly the positions of [from, to); distributed callers whose family
+// spans several accumulators must use CollectRange + FinalizeCalls.
+func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to int, cfg Config) ([]Call, Stats, error) {
+	candidates, st, err := CollectRange(ref, acc, offset, from, to, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	calls, fst, err := FinalizeCalls(candidates, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	// Tested counts positions the LRT ran on (including inter-contig
+	// spacers that produced no candidate); keep CollectRange's count.
+	fst.Tested = st.Tested
+	return calls, fst, err
 }
 
 // Call runs CallRange over the whole reference with a full-length

@@ -343,3 +343,67 @@ func TestHetAlleleBalanceFilter(t *testing.T) {
 		t.Errorf("balanced het not called: %+v", calls)
 	}
 }
+
+// TestFinalizeCallsGlobalVsPerShardFDR pins the distributed-caller FDR
+// semantics: one Benjamini–Hochberg pass over the full candidate family
+// is NOT equivalent to a BH pass per genome shard. The construction is
+// the minimal diverging case: shard A carries 79 overwhelming SNPs,
+// shard B carries one borderline SNP (p = 0.04) among null positions.
+// Globally the borderline candidate ranks 80/100, threshold
+// α·80/100 = 0.04, so it is called; inside its own shard it ranks 1/21,
+// threshold α/21 ≈ 0.0024, so a per-shard pass silently drops it.
+func TestFinalizeCallsGlobalVsPerShardFDR(t *testing.T) {
+	mk := func(pos int, p float64, alt bool) Candidate {
+		c := Call{Contig: "chrT", Pos: pos, GlobalPos: pos, Ref: dna.A, PValue: p, Depth: 10}
+		c.Allele, c.Allele2 = dna.ChA, dna.ChA
+		if alt {
+			c.Allele, c.Allele2 = dna.ChC, dna.ChC
+		}
+		return Candidate{Call: c, Second: c.Allele}
+	}
+	var shardA, shardB []Candidate
+	for i := 0; i < 79; i++ {
+		shardA = append(shardA, mk(i, 1e-10, true))
+	}
+	const borderline = 1000
+	shardB = append(shardB, mk(borderline, 0.04, true))
+	for i := 1; i <= 20; i++ {
+		shardB = append(shardB, mk(borderline+i, 0.9, false))
+	}
+	cfg := Config{UseFDR: true} // Alpha defaults to 0.05
+
+	global, _, err := FinalizeCalls(append(append([]Candidate{}, shardA...), shardB...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callsA, _, err := FinalizeCalls(shardA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callsB, _, err := FinalizeCalls(shardB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := append(callsA, callsB...)
+
+	if len(global) != 80 {
+		t.Fatalf("global FDR pass called %d SNPs, want 80 (79 strong + 1 borderline)", len(global))
+	}
+	hasBorderline := func(calls []Call) bool {
+		for _, c := range calls {
+			if c.GlobalPos == borderline {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasBorderline(global) {
+		t.Errorf("global pass missing the borderline call at %d", borderline)
+	}
+	if hasBorderline(perShard) {
+		t.Errorf("per-shard pass unexpectedly called position %d: shard-local BH should reject it", borderline)
+	}
+	if len(perShard) != 79 {
+		t.Errorf("per-shard passes called %d SNPs, want 79", len(perShard))
+	}
+}
