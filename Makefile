@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-phmm chaos metrics check
+.PHONY: build test race vet bench bench-phmm bench-stream fuzz chaos metrics check
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,10 @@ test:
 
 # The engine, accumulators, cluster runtime and metrics registry are
 # concurrent; -race on the full tree is slow, so the gate covers the
-# concurrent packages.
+# concurrent packages plus the root package (streaming e2e identity)
+# and the FASTQ parser (fuzz seed corpus).
 race:
-	$(GO) test -race ./internal/core/... ./internal/cluster/... ./internal/genome/... ./internal/obs/...
+	$(GO) test -race . ./internal/core/... ./internal/cluster/... ./internal/genome/... ./internal/obs/... ./internal/fastq/...
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,16 @@ bench:
 # Machine-readable kernel trajectory (writes BENCH_phmm.json).
 bench-phmm:
 	$(GO) run ./cmd/snpbench -exp phmm
+
+# Streaming pipeline vs materialized slice on the same FASTQ (writes
+# BENCH_stream.json: reads/sec, peak heap, peak resident reads).
+bench-stream:
+	$(GO) run ./cmd/snpbench -exp stream -length 120000 -coverage 6
+
+# Short coverage-guided fuzz pass over the FASTQ parser (the checked-in
+# seed corpus always runs as part of plain `go test`).
+fuzz:
+	$(GO) test -fuzz FuzzReaderNext -fuzztime 20s ./internal/fastq/
 
 # Fault-tolerance gate: seeded chaos collectives, crash/heartbeat
 # detection, TCP hardening, and degraded-mode read-split — all

@@ -6,7 +6,8 @@
 //
 //	gnumap-snp -ref reference.fa -reads reads.fq -o calls.vcf \
 //	    [-diploid] [-alpha 0.05] [-fdr] [-memory norm|chardisc|centdisc] \
-//	    [-workers N] [-nodes N -split read|genome [-tcp]] \
+//	    [-workers N] [-stream=false] [-batch 64] [-queue 4] \
+//	    [-nodes N -split read|genome [-tcp]] \
 //	    [-op-timeout 5s] [-heartbeat 100ms] [-chaos seed=42,drop=0.01] \
 //	    [-metrics-out metrics.json] [-pprof localhost:6060] \
 //	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -58,6 +59,9 @@ func run() error {
 		fdr        = flag.Bool("fdr", false, "Benjamini-Hochberg FDR control instead of the fixed cutoff")
 		memory     = flag.String("memory", "norm", "accumulator layout: norm, chardisc, centdisc")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
+		stream     = flag.Bool("stream", true, "stream reads through the bounded pipeline instead of materializing the FASTQ (auto-off with -fit or -sam, which need the full read slice)")
+		batch      = flag.Int("batch", 0, "reads per streaming batch (0 = default 64)")
+		queue      = flag.Int("queue", 0, "streaming work-queue bound, in batches (0 = default 4)")
 		band       = flag.Int("band", 0, "PHMM band width in DP cells around the seed diagonal (0 = auto 2*pad+2, negative = exact full kernel)")
 		fit        = flag.Bool("fit", false, "fit PHMM parameters to the data (Baum-Welch) before mapping")
 		samPath    = flag.String("sam", "", "also write best alignments as SAM to this file (single-process mode only)")
@@ -121,13 +125,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	reads, err := gnumap.LoadReads(*readsPath, enc)
-	if err != nil {
-		return err
+	// Fitting and SAM output need random access to the whole read set,
+	// so they force the materialized path.
+	streaming := *stream && !*fit && *samPath == ""
+	var reads []*gnumap.Read
+	if !streaming {
+		reads, err = gnumap.LoadReads(*readsPath, enc)
+		if err != nil {
+			return err
+		}
 	}
 	opts := gnumap.Options{Memory: mem}
 	opts.Engine.Workers = *workers
 	opts.Engine.Band = *band
+	opts.Engine.Batch = *batch
+	opts.Engine.Queue = *queue
 	if *fit {
 		sample := reads
 		if len(sample) > 2000 {
@@ -176,7 +188,23 @@ func run() error {
 			}
 			opts.Cluster.Fault = &fc
 		}
-		if *metricsOut != "" {
+		if streaming {
+			src, err := gnumap.OpenReads(*readsPath, enc)
+			if err != nil {
+				return err
+			}
+			if *metricsOut != "" {
+				calls, stats, report, err = gnumap.RunClusterStreamReport(*nodes, transport, splitMode, reference, src, opts)
+			} else {
+				calls, stats, err = gnumap.RunClusterStream(*nodes, transport, splitMode, reference, src, opts)
+			}
+			if cerr := src.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		} else if *metricsOut != "" {
 			calls, stats, report, err = gnumap.RunClusterReport(*nodes, transport, splitMode, reference, reads, opts)
 		} else {
 			calls, stats, err = gnumap.RunCluster(*nodes, transport, splitMode, reference, reads, opts)
@@ -197,9 +225,23 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		stats, err = p.MapReads(reads)
-		if err != nil {
-			return err
+		if streaming {
+			src, err := gnumap.OpenReads(*readsPath, enc)
+			if err != nil {
+				return err
+			}
+			stats, err = p.MapReadsFrom(src)
+			if cerr := src.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		} else {
+			stats, err = p.MapReads(reads)
+			if err != nil {
+				return err
+			}
 		}
 		calls, _, err = p.Call()
 		if err != nil {

@@ -35,8 +35,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("snpbench: ")
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, metrics, all")
+		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, stream, metrics, all")
 		benchOut   = flag.String("benchout", "BENCH_phmm.json", "output path for the phmm kernel benchmark JSON")
+		streamOut  = flag.String("streamout", "BENCH_stream.json", "output path for the streaming pipeline benchmark JSON")
 		length     = flag.Int("length", 400_000, "simulated genome length")
 		snps       = flag.Int("snps", 0, "planted SNP count (default: paper density, length/10500)")
 		coverage   = flag.Float64("coverage", 12, "read coverage")
@@ -90,7 +91,7 @@ func main() {
 		wants[strings.TrimSpace(e)] = true
 	}
 	all := wants["all"]
-	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["metrics"]
+	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["stream"] || wants["metrics"]
 
 	var ds *experiments.Dataset
 	if needData {
@@ -143,6 +144,10 @@ func main() {
 	}
 	if all || wants["phmm"] {
 		runPhmmBench(*benchOut)
+		ran = true
+	}
+	if all || wants["stream"] {
+		runStream(ds, *workers, *streamOut)
 		ran = true
 	}
 	if all || wants["metrics"] {
@@ -325,6 +330,53 @@ func msRound(d time.Duration) time.Duration {
 	default:
 		return time.Millisecond
 	}
+}
+
+// runStream measures the streaming pipeline against the materialized
+// slice path on the same on-disk FASTQ and writes the machine-readable
+// BENCH_stream.json (reads/sec, sampled peak heap as the RSS proxy,
+// and the pipeline's resident-reads high-water mark).
+func runStream(ds *experiments.Dataset, workers int, outPath string) {
+	fmt.Println("STREAM — bounded pipeline vs materialized slice, same FASTQ")
+	const (
+		batch = 64
+		queue = 4
+	)
+	rows, err := experiments.StreamBench(ds, workers, batch, queue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %8s %10s %12s %14s %14s\n", "path", "reads", "wall", "reads/sec", "peak heap", "peak resident")
+	for _, r := range rows {
+		resident := "all"
+		if r.PeakResidentReads > 0 {
+			resident = fmt.Sprintf("%d reads", r.PeakResidentReads)
+		}
+		wall := time.Duration(r.WallNs)
+		fmt.Printf("%-8s %8d %10s %12.0f %14s %14s\n",
+			r.Path, r.Reads, wall.Round(msRound(wall)), r.ReadsPerSec, human(int64(r.PeakHeapBytes)), resident)
+	}
+	report := struct {
+		Generated string                       `json:"generated"`
+		GoOS      string                       `json:"goos"`
+		GoArch    string                       `json:"goarch"`
+		Input     string                       `json:"input"`
+		Rows      []experiments.StreamBenchRow `json:"rows"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Input:     fmt.Sprintf("%d reads, workers=%d batch=%d queue=%d", rows[0].Reads, workers, batch, queue),
+		Rows:      rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
 }
 
 // runMetrics is the observability smoke: a 2-node read-split run with

@@ -19,6 +19,7 @@ package gnumap
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -219,6 +220,15 @@ func (p *Pipeline) MapReads(reads []*Read) (MapStats, error) {
 	return p.eng.MapReads(reads, p.acc, 0)
 }
 
+// MapReadsFrom maps every read the source yields through the bounded
+// streaming pipeline: resident memory is capped at
+// (Engine.Queue + Engine.Workers) · Engine.Batch reads regardless of
+// the input size, and the accumulated result is call-identical to
+// MapReads over the materialized stream. It may be called repeatedly.
+func (p *Pipeline) MapReadsFrom(src ReadSource) (MapStats, error) {
+	return p.eng.MapReadsFrom(src, p.acc, 0)
+}
+
 // Call runs the likelihood-ratio SNP caller over the accumulated state.
 func (p *Pipeline) Call() ([]SNPCall, CallStats, error) {
 	return snp.CallAll(p.ref, p.acc, p.opts.Caller)
@@ -355,6 +365,26 @@ func LoadReference(path string) ([]*Contig, error) {
 // LoadReads reads a FASTQ file.
 func LoadReads(path string, enc QualityEncoding) ([]*Read, error) {
 	return fastq.ReadFile(path, enc)
+}
+
+// ReadSource yields reads one at a time until io.EOF — the streaming
+// input of MapReadsFrom and RunClusterStream.
+type ReadSource = fastq.Source
+
+// ReadStream is a streaming FASTQ file handle (a ReadSource plus
+// Close; .gz transparent). Close publishes streamed volume to
+// ProcessMetrics.
+type ReadStream = fastq.File
+
+// OpenReads opens a FASTQ file (or .gz) for streaming instead of
+// materializing it. The caller must Close it.
+func OpenReads(path string, enc QualityEncoding) (*ReadStream, error) {
+	return fastq.Open(path, enc)
+}
+
+// SliceReadSource adapts an in-memory read slice to a ReadSource.
+func SliceReadSource(reads []*Read) ReadSource {
+	return fastq.SliceSource(reads)
 }
 
 // WriteReference writes contigs as FASTA.
@@ -589,8 +619,61 @@ func (m SplitMode) String() string {
 func RunCluster(nodes int, transport Transport, mode SplitMode,
 	reference []*Contig, reads []*Read, opts Options) ([]SNPCall, MapStats, error) {
 
-	calls, stats, _, err := runCluster(nodes, transport, mode, reference, reads, opts, false)
+	calls, stats, _, err := runCluster(nodes, transport, mode, reference, reads, nil, opts, false)
 	return calls, stats, err
+}
+
+// RunClusterStream is RunCluster with the reads streamed rather than
+// replicated: rank 0 owns the source and deals fixed-size batches
+// round-robin to the ranks under a bounded credit window, so
+// cluster-wide resident reads stay capped by Engine.{Batch,Queue,
+// Workers} while the call set matches the materialized run. Modes that
+// need the full read slice on every rank fall back transparently by
+// materializing the source first: GenomeSplit (every rank maps all
+// reads) and fault-tolerant runs (OpTimeout > 0 reassigns whole shards,
+// which a stream cannot replay).
+func RunClusterStream(nodes int, transport Transport, mode SplitMode,
+	reference []*Contig, src ReadSource, opts Options) ([]SNPCall, MapStats, error) {
+
+	calls, stats, _, err := runClusterStream(nodes, transport, mode, reference, src, opts, false)
+	return calls, stats, err
+}
+
+// RunClusterStreamReport is RunClusterStream with the per-rank
+// observability of RunClusterReport.
+func RunClusterStreamReport(nodes int, transport Transport, mode SplitMode,
+	reference []*Contig, src ReadSource, opts Options) ([]SNPCall, MapStats, *MetricsReport, error) {
+
+	return runClusterStream(nodes, transport, mode, reference, src, opts, true)
+}
+
+func runClusterStream(nodes int, transport Transport, mode SplitMode,
+	reference []*Contig, src ReadSource, opts Options, withMetrics bool) ([]SNPCall, MapStats, *MetricsReport, error) {
+
+	if mode != ReadSplit || opts.Cluster.OpTimeout > 0 {
+		reads, err := materializeReads(src)
+		if err != nil {
+			return nil, MapStats{}, nil, err
+		}
+		return runCluster(nodes, transport, mode, reference, reads, nil, opts, withMetrics)
+	}
+	return runCluster(nodes, transport, mode, reference, nil, src, opts, withMetrics)
+}
+
+// materializeReads drains a source into a slice (the fallback for
+// cluster modes that need random access to every read).
+func materializeReads(src ReadSource) ([]*Read, error) {
+	var reads []*Read
+	for {
+		rd, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return reads, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		reads = append(reads, rd)
+	}
 }
 
 // RunClusterReport is RunCluster with per-rank observability: every
@@ -601,11 +684,14 @@ func RunCluster(nodes int, transport Transport, mode SplitMode,
 func RunClusterReport(nodes int, transport Transport, mode SplitMode,
 	reference []*Contig, reads []*Read, opts Options) ([]SNPCall, MapStats, *MetricsReport, error) {
 
-	return runCluster(nodes, transport, mode, reference, reads, opts, true)
+	return runCluster(nodes, transport, mode, reference, reads, nil, opts, true)
 }
 
+// runCluster executes a cluster run. Exactly one of reads and src is
+// set: a non-nil src selects the streaming read-split path, with rank 0
+// owning the source.
 func runCluster(nodes int, transport Transport, mode SplitMode,
-	reference []*Contig, reads []*Read, opts Options, withMetrics bool) ([]SNPCall, MapStats, *MetricsReport, error) {
+	reference []*Contig, reads []*Read, src ReadSource, opts Options, withMetrics bool) ([]SNPCall, MapStats, *MetricsReport, error) {
 
 	ref, err := genome.NewReference(reference)
 	if err != nil {
@@ -635,7 +721,7 @@ func runCluster(nodes int, transport Transport, mode SplitMode,
 			nodeOpts.Caller.Metrics = reg
 			c.SetMetrics(reg)
 		}
-		if err := runClusterNode(c, mode, ref, reads, nodeOpts, collect, statsCh); err != nil {
+		if err := runClusterNode(c, mode, ref, reads, src, nodeOpts, collect, statsCh); err != nil {
 			return err
 		}
 		if withMetrics {
@@ -679,11 +765,21 @@ func runCluster(nodes int, transport Transport, mode SplitMode,
 // runClusterNode is one rank's work: map, then call (or collect LRT
 // candidates for the global FDR pass).
 func runClusterNode(c *cluster.Comm, mode SplitMode, ref *genome.Reference,
-	reads []*Read, opts Options, collect [][]SNPCall, statsCh chan MapStats) error {
+	reads []*Read, src ReadSource, opts Options, collect [][]SNPCall, statsCh chan MapStats) error {
 
 	switch mode {
 	case ReadSplit:
-		acc, st, err := core.RunReadSplit(c, ref, reads, opts.Memory, opts.Engine)
+		var acc genome.Accumulator
+		var st MapStats
+		var err error
+		if src != nil {
+			if c.Rank() != 0 {
+				src = nil // only rank 0 owns the stream
+			}
+			acc, st, err = core.RunReadSplitStream(c, ref, src, opts.Memory, opts.Engine)
+		} else {
+			acc, st, err = core.RunReadSplit(c, ref, reads, opts.Memory, opts.Engine)
+		}
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,26 @@ func BenchmarkMapReadsEndToEnd(b *testing.B) {
 	b.ReportMetric(float64(len(g.reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 }
 
+// BenchmarkMapReadsStream is BenchmarkMapReadsEndToEnd through the
+// bounded streaming pipeline — the reads/s gap between the two is the
+// cost of streaming (batch hand-off, free-list recycling) and should
+// stay within noise of the slice path.
+func BenchmarkMapReadsStream(b *testing.B) {
+	g := makePipelineB(b, 100000, 9, 10, 91)
+	eng, err := NewEngine(g.ref, Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, _ := genome.New(genome.Norm, g.ref.Len())
+		if _, err := eng.MapReadsFrom(fastq.SliceSource(g.reads), acc, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(g.reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
 // BenchmarkMapReadSteadyState isolates the per-read mapping hot path on
 // one warm mapper — the allocs/op column is the zero-allocation
 // acceptance gate.

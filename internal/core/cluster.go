@@ -69,6 +69,14 @@ func RunReadSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, m
 	if err != nil {
 		return nil, st, err
 	}
+	return reduceReadSplit(c, acc, mode, ref.Len(), local)
+}
+
+// reduceReadSplit is the collective tail shared by the slice and
+// streaming read-split paths: Allreduce the local Stats into global
+// ones and fold the per-rank accumulators to rank 0.
+func reduceReadSplit(c *cluster.Comm, acc genome.Accumulator, mode genome.Mode, refLen int, local Stats) (genome.Accumulator, Stats, error) {
+	var st Stats
 	// Global stats.
 	sv, err := c.Allreduce([]float64{
 		float64(local.Mapped), float64(local.Unmapped), float64(local.Locations),
@@ -92,14 +100,14 @@ func RunReadSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, m
 		return nil, st, err
 	}
 	mergeStates := func(a, b any) (any, error) {
-		left, err := genome.New(mode, ref.Len())
+		left, err := genome.New(mode, refLen)
 		if err != nil {
 			return nil, err
 		}
 		if err := left.(genome.Stateful).LoadStateBytes(a.([]byte)); err != nil {
 			return nil, err
 		}
-		right, err := genome.New(mode, ref.Len())
+		right, err := genome.New(mode, refLen)
 		if err != nil {
 			return nil, err
 		}

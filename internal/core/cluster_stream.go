@@ -1,0 +1,247 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"gnumap/internal/cluster"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+)
+
+func init() {
+	gob.Register(streamShard{})
+}
+
+// Streaming read-split: instead of replicating the full read slice on
+// every rank and pre-splitting it (RunReadSplit), rank 0 owns the input
+// stream and deals fixed-size batches round-robin to the ranks — batch
+// i goes to rank i mod size, so the shard assignment is deterministic
+// regardless of relative rank speed. A per-rank credit window of
+// Config.Queue unacknowledged batches gives the same backpressure the
+// local pipeline has: rank 0 never buffers more than Queue batches per
+// remote rank plus its own (Queue + Workers)-buffer local pipeline, so
+// cluster-wide resident reads stay bounded by configuration while the
+// input can be arbitrarily large.
+//
+// Each rank feeds its arriving batches into Engine.MapReadsFrom through
+// a channel-backed Source, then the ordinary read-split collective tail
+// (stats Allreduce + accumulator ReduceTree) runs unchanged — so the
+// streamed result is call-identical to RunReadSplit over the
+// materialized stream.
+//
+// The fault-tolerant protocol needs replayable shards (a dead worker's
+// whole shard is re-mapped elsewhere), which a stream cannot offer;
+// callers with OpTimeout configured must materialize and use
+// RunReadSplit. gnumap.RunClusterStream handles that fallback.
+
+// streamShard is one dealt batch of reads (or the end-of-stream marker
+// when Done is set).
+type streamShard struct {
+	Reads []*fastq.Read
+	Done  bool
+}
+
+// Streaming tags live in the same user tag space as the FT protocol
+// (1001-1003); the two paths are mutually exclusive but keep the tags
+// distinct anyway.
+const (
+	streamShardTag = 1004
+	streamAckTag   = 1005
+)
+
+// chanSource adapts a channel of read batches to a fastq.Source.
+type chanSource struct {
+	ch  <-chan []*fastq.Read
+	cur []*fastq.Read
+	pos int
+}
+
+func (s *chanSource) Next() (*fastq.Read, error) {
+	for s.pos >= len(s.cur) {
+		b, ok := <-s.ch
+		if !ok {
+			return nil, io.EOF
+		}
+		s.cur, s.pos = b, 0
+	}
+	rd := s.cur[s.pos]
+	s.pos++
+	return rd, nil
+}
+
+// RunReadSplitStream executes read-split mapping with the reads
+// streamed from rank 0. src must be non-nil on rank 0 and is ignored
+// elsewhere. The returned accumulator is the merged result at rank 0
+// and nil elsewhere; Stats are global on every rank.
+func RunReadSplitStream(c *cluster.Comm, ref *genome.Reference, src fastq.Source, mode genome.Mode, cfg Config) (genome.Accumulator, Stats, error) {
+	var st Stats
+	if c.OpTimeout() > 0 {
+		return nil, st, fmt.Errorf("core: streaming read-split does not support the fault-tolerant protocol (shards are not replayable); materialize the reads and use RunReadSplit")
+	}
+	cfg = cfg.withDefaults()
+	eng, err := NewEngine(ref, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	acc, err := genome.New(mode, ref.Len())
+	if err != nil {
+		return nil, st, err
+	}
+	var local Stats
+	if c.Rank() == 0 {
+		if src == nil {
+			return nil, st, fmt.Errorf("core: rank 0 needs a read source")
+		}
+		local, err = streamDeal(c, eng, src, acc, cfg)
+	} else {
+		local, err = streamReceive(c, eng, acc, cfg)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	return reduceReadSplit(c, acc, mode, ref.Len(), local)
+}
+
+// localPipe starts MapReadsFrom on a channel-backed source and returns
+// the feed channel, a done channel, and accessors for the result.
+func localPipe(eng *Engine, acc genome.Accumulator, queue int) (chan<- []*fastq.Read, <-chan struct{}, *Stats, *error) {
+	ch := make(chan []*fastq.Read, queue)
+	done := make(chan struct{})
+	st := new(Stats)
+	errp := new(error)
+	go func() {
+		defer close(done)
+		*st, *errp = eng.MapReadsFrom(&chanSource{ch: ch}, acc, 0)
+	}()
+	return ch, done, st, errp
+}
+
+// streamDeal is rank 0's half: read the source, deal batches
+// round-robin (keeping its own share), enforce the per-rank credit
+// window, then signal end-of-stream.
+func streamDeal(c *cluster.Comm, eng *Engine, src fastq.Source, acc genome.Accumulator, cfg Config) (Stats, error) {
+	size := c.Size()
+	queue := cfg.Queue
+	localCh, mapDone, mapStats, mapErr := localPipe(eng, acc, queue)
+	outstanding := make([]int, size)
+	var srcErr error
+	batchIdx := 0
+
+deal:
+	for {
+		batch := make([]*fastq.Read, 0, cfg.Batch)
+		for len(batch) < cfg.Batch {
+			rd, err := src.Next()
+			if err != nil {
+				if err != io.EOF {
+					srcErr = fmt.Errorf("core: read source: %w", err)
+				}
+				break
+			}
+			batch = append(batch, rd)
+		}
+		if len(batch) > 0 {
+			r := batchIdx % size
+			batchIdx++
+			if r == 0 {
+				select {
+				case localCh <- batch:
+				case <-mapDone:
+					// The local mapper latched an error; stop dealing.
+					break deal
+				}
+			} else {
+				if outstanding[r] >= queue {
+					// Credit window full: wait for this rank to finish a
+					// batch before handing it another.
+					if _, err := c.Recv(r, streamAckTag); err != nil {
+						close(localCh)
+						<-mapDone
+						return Stats{}, err
+					}
+					outstanding[r]--
+				}
+				if err := c.Send(r, streamShardTag, streamShard{Reads: batch}); err != nil {
+					close(localCh)
+					<-mapDone
+					return Stats{}, err
+				}
+				outstanding[r]++
+			}
+		}
+		if srcErr != nil || len(batch) < cfg.Batch {
+			break
+		}
+	}
+	close(localCh)
+	// Drain remaining credits so no worker is left with an unreceived
+	// ack in flight, then release everyone.
+	var commErr error
+	for r := 1; r < size; r++ {
+		for outstanding[r] > 0 {
+			if _, err := c.Recv(r, streamAckTag); err != nil {
+				commErr = err
+				break
+			}
+			outstanding[r]--
+		}
+		if commErr == nil {
+			if err := c.Send(r, streamShardTag, streamShard{Done: true}); err != nil {
+				commErr = err
+			}
+		}
+	}
+	<-mapDone
+	switch {
+	case *mapErr != nil:
+		return Stats{}, *mapErr
+	case srcErr != nil:
+		return Stats{}, srcErr
+	case commErr != nil:
+		return Stats{}, commErr
+	}
+	return *mapStats, nil
+}
+
+// streamReceive is a worker rank's half: receive batches, feed the
+// local pipeline, ack each batch to open the next credit.
+func streamReceive(c *cluster.Comm, eng *Engine, acc genome.Accumulator, cfg Config) (Stats, error) {
+	localCh, mapDone, mapStats, mapErr := localPipe(eng, acc, cfg.Queue)
+	for {
+		v, err := c.Recv(0, streamShardTag)
+		if err != nil {
+			close(localCh)
+			<-mapDone
+			return Stats{}, err
+		}
+		sh, ok := v.(streamShard)
+		if !ok {
+			close(localCh)
+			<-mapDone
+			return Stats{}, fmt.Errorf("core: rank %d: unexpected stream payload %T", c.Rank(), v)
+		}
+		if sh.Done {
+			break
+		}
+		select {
+		case localCh <- sh.Reads:
+		case <-mapDone:
+			// Mapper latched an error; returning tears down the
+			// transport, which unblocks rank 0.
+			return Stats{}, *mapErr
+		}
+		if err := c.Send(0, streamAckTag, 1); err != nil {
+			close(localCh)
+			<-mapDone
+			return Stats{}, err
+		}
+	}
+	close(localCh)
+	<-mapDone
+	if *mapErr != nil {
+		return Stats{}, *mapErr
+	}
+	return *mapStats, nil
+}

@@ -53,6 +53,17 @@ type Config struct {
 	Band int
 	// Workers is the shared-memory worker count (default GOMAXPROCS).
 	Workers int
+	// Batch is the number of reads per unit of worker-pool work: the
+	// claim granularity of MapReads and the producer batch size of the
+	// streaming MapReadsFrom (default 64).
+	Batch int
+	// Queue bounds the streaming pipeline's work queue, in batches
+	// (default 4). MapReadsFrom recycles (Queue + Workers) batch
+	// buffers through a free list, so a streaming run never holds more
+	// than (Queue + Workers) · Batch reads resident regardless of the
+	// input size — the producer blocks (backpressure) once every
+	// buffer is filled or in flight.
+	Queue int
 	// Attribution selects how posterior mass maps to base channels
 	// (default phmm.ByCall, the paper's formulation).
 	Attribution phmm.Attribution
@@ -112,6 +123,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.Queue == 0 {
+		c.Queue = 4
 	}
 	if c.MaxCandidates == 0 {
 		c.MaxCandidates = 8
@@ -250,6 +267,10 @@ type Engine struct {
 	// in genome-split mode, so a location straddling two nodes' index
 	// overlap is claimed by exactly one of them.
 	ownLo, ownHi int
+	// testMapErr, when non-nil, is consulted before mapping each read.
+	// Test-only: it lets the stop-latch and streaming error paths
+	// inject deterministic per-read failures.
+	testMapErr func(*fastq.Read) error
 }
 
 // NewEngine indexes the full reference.
@@ -611,9 +632,68 @@ func (e *Engine) weights(locs []location, buf []float64) []float64 {
 	return w
 }
 
+// consumeRead maps one read and folds its weighted contributions into
+// acc — the shared per-read body of the slice (MapReads) and streaming
+// (MapReadsFrom) worker loops. Stats fields are updated atomically;
+// the accumulator handles its own locking.
+func (m *mapper) consumeRead(rd *fastq.Read, acc genome.Accumulator, accOffset int, st *Stats) error {
+	met := m.met
+	var tRead time.Time
+	if met != nil {
+		tRead = time.Now()
+	}
+	if hook := m.e.testMapErr; hook != nil {
+		if err := hook(rd); err != nil {
+			return err
+		}
+	}
+	locs, err := m.mapRead(rd)
+	if err != nil {
+		return err
+	}
+	if len(locs) == 0 {
+		atomic.AddInt64(&st.Unmapped, 1)
+		if met != nil {
+			met.unmapped.Inc()
+			met.readSec.ObserveDuration(time.Since(tRead))
+		}
+		return nil
+	}
+	atomic.AddInt64(&st.Mapped, 1)
+	ws := m.e.weights(locs, m.wbuf)
+	m.wbuf = ws
+	var tAcc time.Time
+	if met != nil {
+		tAcc = time.Now()
+	}
+	accepted := int64(0)
+	for i, loc := range locs {
+		if ws[i] == 0 {
+			continue
+		}
+		accepted++
+		acc.AddRange(loc.windowStart-accOffset, loc.contribs, ws[i])
+	}
+	atomic.AddInt64(&st.Locations, accepted)
+	if met != nil {
+		now := time.Now()
+		met.accumSec.ObserveDuration(now.Sub(tAcc))
+		met.readSec.ObserveDuration(now.Sub(tRead))
+		met.mapped.Inc()
+		met.locations.Add(accepted)
+	}
+	return nil
+}
+
 // MapReads maps reads with the shared-memory worker pool, accumulating
 // online into acc. Accumulator index 0 corresponds to global position
 // accOffset (zero for a whole-genome accumulator).
+//
+// Error handling: the first worker failure latches the error AND a
+// shared stop flag checked in the batch-claim loop, so surviving
+// workers finish at most the batch they already hold instead of
+// mapping the rest of the input into an accumulator the caller is
+// about to discard.
 func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset int) (Stats, error) {
 	var st Stats
 	if acc == nil {
@@ -629,22 +709,30 @@ func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset
 	var wg sync.WaitGroup
 	var firstErr error
 	var errMu sync.Mutex
+	var stop atomic.Bool
+	latch := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
 	next := int64(-1)
-	const batch = 64
+	batch := int64(e.cfg.Batch)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			m, err := e.newMapper()
 			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
+				latch(err)
 				return
 			}
 			for {
+				if stop.Load() {
+					return
+				}
 				lo := (atomic.AddInt64(&next, 1)) * batch
 				if lo >= int64(len(reads)) {
 					return
@@ -653,51 +741,10 @@ func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset
 				if hi > int64(len(reads)) {
 					hi = int64(len(reads))
 				}
-				met := m.met
 				for _, rd := range reads[lo:hi] {
-					var tRead time.Time
-					if met != nil {
-						tRead = time.Now()
-					}
-					locs, err := m.mapRead(rd)
-					if err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
+					if err := m.consumeRead(rd, acc, accOffset, &st); err != nil {
+						latch(err)
 						return
-					}
-					if len(locs) == 0 {
-						atomic.AddInt64(&st.Unmapped, 1)
-						if met != nil {
-							met.unmapped.Inc()
-							met.readSec.ObserveDuration(time.Since(tRead))
-						}
-						continue
-					}
-					atomic.AddInt64(&st.Mapped, 1)
-					ws := e.weights(locs, m.wbuf)
-					m.wbuf = ws
-					var tAcc time.Time
-					if met != nil {
-						tAcc = time.Now()
-					}
-					accepted := int64(0)
-					for i, loc := range locs {
-						if ws[i] == 0 {
-							continue
-						}
-						accepted++
-						acc.AddRange(loc.windowStart-accOffset, loc.contribs, ws[i])
-					}
-					atomic.AddInt64(&st.Locations, accepted)
-					if met != nil {
-						now := time.Now()
-						met.accumSec.ObserveDuration(now.Sub(tAcc))
-						met.readSec.ObserveDuration(now.Sub(tRead))
-						met.mapped.Inc()
-						met.locations.Add(accepted)
 					}
 				}
 			}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+	"gnumap/internal/obs"
+)
+
+// The streaming execution path. MapReads materializes every read
+// before mapping, so resident memory grows with the dataset;
+// MapReadsFrom instead pulls reads from a fastq.Source through a
+// bounded producer/consumer pipeline whose footprint is fixed by
+// configuration:
+//
+//   - one reader goroutine fills fixed-size batches (Config.Batch
+//     reads each) and sends them into a work channel bounded at
+//     Config.Queue batches;
+//   - batch buffers are recycled through a free list of exactly
+//     (Queue + Workers) buffers, so the producer blocks — backpressure
+//     on the input stream — once every buffer is filled or being
+//     mapped. Resident reads never exceed (Queue + Workers) · Batch;
+//   - the existing mapper worker pool drains the queue, each worker
+//     reusing its zero-allocation scratch state across batches;
+//   - the first failure (worker or source) latches the error and a
+//     stop signal: workers stop picking up batches, the producer stops
+//     reading, and MapReadsFrom returns the first error.
+//
+// See DESIGN.md §10 for the invariants and the observability hooks.
+
+// streamMetrics pre-resolves the streaming pipeline's gauges and
+// counters (nil when observability is off):
+//
+//	stream.queue.depth        gauge: batches waiting in the work queue
+//	stream.peak.resident.reads gauge: high-water mark of reads held in
+//	                           batch buffers (the memory-bound witness)
+//	stream.batches            counter: batches produced
+//	stream.reads              counter: reads streamed through
+type streamMetrics struct {
+	queueDepth   *obs.Gauge
+	peakResident *obs.Gauge
+	batches      *obs.Counter
+	reads        *obs.Counter
+}
+
+func newStreamMetrics(reg *obs.Registry) *streamMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &streamMetrics{
+		queueDepth:   reg.Gauge("stream.queue.depth"),
+		peakResident: reg.Gauge("stream.peak.resident.reads"),
+		batches:      reg.Counter("stream.batches"),
+		reads:        reg.Counter("stream.reads"),
+	}
+}
+
+// readBatch is one recycled unit of streaming work. Only the slice
+// header is reused; the reads themselves are owned by the garbage
+// collector once their batch has been mapped.
+type readBatch struct {
+	reads []*fastq.Read
+}
+
+// MapReadsFrom maps every read src yields, accumulating online into
+// acc exactly as MapReads does, while holding at most
+// (Queue + Workers) · Batch reads in memory. Accumulator index 0
+// corresponds to global position accOffset.
+//
+// The result is call-identical to MapReads over the materialized
+// stream: same Stats, same accumulated mass (up to the float
+// accumulation-order tolerance the worker pool already has).
+func (e *Engine) MapReadsFrom(src fastq.Source, acc genome.Accumulator, accOffset int) (Stats, error) {
+	var st Stats
+	if acc == nil {
+		return st, fmt.Errorf("core: nil accumulator")
+	}
+	if src == nil {
+		return st, fmt.Errorf("core: nil read source")
+	}
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	batchSz := e.cfg.Batch
+	if batchSz < 1 {
+		batchSz = 64
+	}
+	queue := e.cfg.Queue
+	if queue < 1 {
+		queue = 4
+	}
+	sm := newStreamMetrics(e.cfg.Metrics)
+
+	// The free list is the memory bound: (queue + workers) buffers in
+	// total, so at most `queue` batches can wait in the work channel
+	// while every worker holds one.
+	nbuf := queue + workers
+	free := make(chan *readBatch, nbuf)
+	for i := 0; i < nbuf; i++ {
+		free <- &readBatch{reads: make([]*fastq.Read, 0, batchSz)}
+	}
+	work := make(chan *readBatch, queue)
+	stopCh := make(chan struct{})
+	var stopOnce sync.Once
+	var errMu sync.Mutex
+	var firstErr error
+	latch := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stopCh) })
+	}
+	var resident, peak atomic.Int64
+
+	// Producer: fill batches from the source until EOF, error, or stop.
+	var prodWG sync.WaitGroup
+	prodWG.Add(1)
+	go func() {
+		defer prodWG.Done()
+		defer close(work)
+		for {
+			var b *readBatch
+			select {
+			case b = <-free:
+			case <-stopCh:
+				return
+			}
+			b.reads = b.reads[:0]
+			var srcErr error
+			for len(b.reads) < batchSz {
+				rd, err := src.Next()
+				if err != nil {
+					srcErr = err
+					break
+				}
+				b.reads = append(b.reads, rd)
+			}
+			if n := len(b.reads); n > 0 {
+				r := resident.Add(int64(n))
+				for {
+					p := peak.Load()
+					if r <= p || peak.CompareAndSwap(p, r) {
+						break
+					}
+				}
+				if sm != nil {
+					sm.reads.Add(int64(n))
+					sm.batches.Inc()
+					sm.peakResident.Set(float64(peak.Load()))
+				}
+				select {
+				case work <- b:
+					if sm != nil {
+						sm.queueDepth.Set(float64(len(work)))
+					}
+				case <-stopCh:
+					return
+				}
+			}
+			if srcErr != nil {
+				if srcErr != io.EOF {
+					latch(fmt.Errorf("core: read source: %w", srcErr))
+				}
+				return
+			}
+		}
+	}()
+
+	// Workers: drain the queue until it closes or an error latches.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := e.newMapper()
+			if err != nil {
+				latch(err)
+				return
+			}
+			for b := range work {
+				select {
+				case <-stopCh:
+					// Error latched elsewhere: stop picking up batches.
+					return
+				default:
+				}
+				if sm != nil {
+					sm.queueDepth.Set(float64(len(work)))
+				}
+				for _, rd := range b.reads {
+					if err := m.consumeRead(rd, acc, accOffset, &st); err != nil {
+						latch(err)
+						return
+					}
+				}
+				resident.Add(-int64(len(b.reads)))
+				b.reads = b.reads[:0]
+				free <- b
+			}
+		}()
+	}
+	wg.Wait()
+	prodWG.Wait()
+	if sm != nil {
+		sm.queueDepth.Set(0)
+		sm.peakResident.Set(float64(peak.Load()))
+	}
+	return st, firstErr
+}

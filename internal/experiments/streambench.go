@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"gnumap/internal/core"
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+	"gnumap/internal/obs"
+)
+
+// StreamBenchRow is one mapping-path measurement, emitted by snpbench
+// as machine-readable BENCH_stream.json so successive PRs can track the
+// streaming pipeline against the materialized baseline.
+type StreamBenchRow struct {
+	// Path identifies the execution path: "slice" (ReadFile + MapReads)
+	// or "stream" (Open + MapReadsFrom).
+	Path string `json:"path"`
+	// Reads is the number of reads mapped; WallNs the end-to-end wall
+	// time including the FASTQ I/O; ReadsPerSec the throughput.
+	Reads       int     `json:"reads"`
+	WallNs      int64   `json:"wall_ns"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// PeakHeapBytes is the sampled live-heap high-water mark over the
+	// run (runtime.ReadMemStats HeapAlloc) — the portable stand-in for
+	// peak RSS.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// PeakResidentReads is the streaming pipeline's
+	// stream.peak.resident.reads gauge (0 on the slice path, which
+	// holds every read at once).
+	PeakResidentReads int64 `json:"peak_resident_reads"`
+	// The streaming configuration the row ran under.
+	Workers int `json:"workers"`
+	Batch   int `json:"batch"`
+	Queue   int `json:"queue"`
+}
+
+// heapSampler polls the live heap on a short period and keeps the
+// high-water mark. Sampling (rather than a single post-run read) is
+// needed because the interesting peak is mid-run, before the GC
+// reclaims the transient read slice.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC() // level the baseline between rows
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) Stop() uint64 {
+	close(s.stop)
+	<-s.done
+	return s.peak
+}
+
+// StreamBench maps the dataset from an on-disk FASTQ twice — once
+// materialized (ReadFile + MapReads), once through the bounded
+// streaming pipeline (Open + MapReadsFrom) — and reports wall time,
+// throughput, sampled peak heap, and the pipeline's resident-reads
+// high-water mark. Identical accumulator mass is asserted, so the rows
+// always compare equivalent work.
+func StreamBench(ds *Dataset, workers, batch, queue int) ([]StreamBenchRow, error) {
+	dir, err := os.MkdirTemp("", "streambench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	fq := filepath.Join(dir, "reads.fq")
+	if err := fastq.WriteFile(fq, ds.Reads, fastq.Sanger); err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Workers: workers, Batch: batch, Queue: queue}
+
+	var rows []StreamBenchRow
+
+	// Slice path: materialize, then map.
+	sliceAcc, err := genome.New(genome.Norm, ds.Ref.Len())
+	if err != nil {
+		return nil, err
+	}
+	{
+		eng, err := core.NewEngine(ds.Ref, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sampler := startHeapSampler()
+		start := time.Now()
+		reads, err := fastq.ReadFile(fq, fastq.Sanger)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.MapReads(reads, sliceAcc, 0); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		rows = append(rows, StreamBenchRow{
+			Path:          "slice",
+			Reads:         len(reads),
+			WallNs:        wall.Nanoseconds(),
+			ReadsPerSec:   float64(len(reads)) / wall.Seconds(),
+			PeakHeapBytes: sampler.Stop(),
+			Workers:       workers, Batch: batch, Queue: queue,
+		})
+	}
+
+	// Streaming path: bounded pipeline straight off the file.
+	streamAcc, err := genome.New(genome.Norm, ds.Ref.Len())
+	if err != nil {
+		return nil, err
+	}
+	{
+		reg := obs.NewRegistry()
+		scfg := cfg
+		scfg.Metrics = reg
+		eng, err := core.NewEngine(ds.Ref, scfg)
+		if err != nil {
+			return nil, err
+		}
+		sampler := startHeapSampler()
+		start := time.Now()
+		src, err := fastq.Open(fq, fastq.Sanger)
+		if err != nil {
+			return nil, err
+		}
+		_, err = eng.MapReadsFrom(src, streamAcc, 0)
+		if cerr := src.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		rows = append(rows, StreamBenchRow{
+			Path:              "stream",
+			Reads:             int(src.Records()),
+			WallNs:            wall.Nanoseconds(),
+			ReadsPerSec:       float64(src.Records()) / wall.Seconds(),
+			PeakHeapBytes:     sampler.Stop(),
+			PeakResidentReads: int64(reg.Gauge("stream.peak.resident.reads").Value()),
+			Workers:           workers, Batch: batch, Queue: queue,
+		})
+	}
+
+	// The two rows must describe the same mapping result.
+	for pos := 0; pos < ds.Ref.Len(); pos += 211 {
+		a, b := sliceAcc.Total(pos), streamAcc.Total(pos)
+		if diff := a - b; diff > 1e-3*(1+a) || diff < -1e-3*(1+a) {
+			return nil, fmt.Errorf("experiments: stream/slice accumulators diverge at %d: %v vs %v", pos, b, a)
+		}
+	}
+	return rows, nil
+}

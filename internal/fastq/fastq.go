@@ -116,6 +116,11 @@ func (r *Reader) Next() (*Read, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(seqLine) == 0 {
+		// An empty sequence would produce a Read that fails its own
+		// Validate; reject it here so Next returns error-or-valid-read.
+		return nil, fmt.Errorf("fastq: line %d: empty sequence line", r.line)
+	}
 	plus, err := r.requireLine("'+' separator")
 	if err != nil {
 		return nil, err

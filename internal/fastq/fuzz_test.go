@@ -1,0 +1,98 @@
+package fastq
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReaderNext drives the FASTQ parser with arbitrary bytes under
+// both quality encodings and asserts the Reader's contract: Next never
+// panics and every call returns either an error or a read that passes
+// its own Validate (non-empty sequence, matching quality length,
+// qualities within [0, MaxQuality]). io.EOF must be sticky, and a
+// well-formed stream must round-trip through the Writer.
+//
+// The checked-in corpus (testdata/fuzz/FuzzReaderNext) seeds the
+// historical failure classes: truncated records, CRLF line endings,
+// mismatched sequence/quality lengths, bad Phred bytes, and empty
+// sequence lines.
+func FuzzReaderNext(f *testing.F) {
+	f.Add([]byte("@r1\nACGT\n+\nIIII\n"), false)
+	f.Add([]byte("@r1\r\nACGT\r\n+\r\nIIII\r\n"), false)     // CRLF endings
+	f.Add([]byte("@r1\nACGT\n+\nIII\n"), false)              // qual shorter than seq
+	f.Add([]byte("@r1\nACGT\n+\n"), false)                   // truncated: missing qual line
+	f.Add([]byte("@r1\nACGT\n"), false)                      // truncated: missing separator
+	f.Add([]byte("@r1\n\n+\n\n"), false)                     // empty sequence line
+	f.Add([]byte("@r1\nACGT\n+\n\x01\x02\x03\x04\n"), false) // Phred bytes below offset
+	f.Add([]byte("@r1\nACGT\n+\nIIII"), false)               // no trailing newline
+	f.Add([]byte("@r1\nAXGT\n+\nIIII\n"), false)             // invalid base
+	f.Add([]byte("rubbish\nACGT\n+\nIIII\n"), false)         // header without '@'
+	f.Add([]byte("@r1\nACGT\n+\nhhhh\n@r2\nAC\n+\nhh\n"), true)
+	f.Add([]byte("@r1\nACGT\n+\nIIII\n@r2\nACGTA\n+\nIIIII\n"), false)
+	f.Add([]byte(""), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, phred64 bool) {
+		enc := Sanger
+		if phred64 {
+			enc = Illumina13
+		}
+		r := NewReader(bytes.NewReader(data), enc)
+		var parsed []*Read
+		for i := 0; i < 10000; i++ {
+			rd, err := r.Next()
+			if err != nil {
+				if rd != nil {
+					t.Fatalf("Next returned both a read and error %v", err)
+				}
+				if errors.Is(err, io.EOF) {
+					// EOF must be sticky.
+					if _, err2 := r.Next(); !errors.Is(err2, io.EOF) {
+						t.Fatalf("Next after EOF = %v, want io.EOF", err2)
+					}
+				}
+				break
+			}
+			if verr := rd.Validate(); verr != nil {
+				t.Fatalf("Next returned an invalid read: %v", verr)
+			}
+			for _, q := range rd.Qual {
+				if q > MaxQuality {
+					t.Fatalf("quality %d above MaxQuality %d", q, MaxQuality)
+				}
+			}
+			parsed = append(parsed, rd)
+		}
+		if len(parsed) == 0 {
+			return
+		}
+		// Round-trip: anything the parser accepts, the writer must emit
+		// in a form the parser accepts again, record for record.
+		var buf bytes.Buffer
+		w := NewWriter(&buf, enc)
+		for _, rd := range parsed {
+			if err := w.Write(rd); err != nil {
+				t.Fatalf("Write of parsed read failed: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(bytes.NewReader(buf.Bytes()), enc)
+		if err != nil {
+			t.Fatalf("re-parse of written records failed: %v", err)
+		}
+		if len(again) != len(parsed) {
+			t.Fatalf("round-trip lost records: %d -> %d", len(parsed), len(again))
+		}
+		for i := range parsed {
+			if !bytes.Equal(parsed[i].Seq.Bytes(), again[i].Seq.Bytes()) {
+				t.Fatalf("record %d: sequence changed in round-trip", i)
+			}
+			if !bytes.Equal(parsed[i].Qual, again[i].Qual) {
+				t.Fatalf("record %d: qualities changed in round-trip", i)
+			}
+		}
+	})
+}
