@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-phmm bench-stream fuzz chaos metrics check
+.PHONY: build test race vet bench bench-phmm bench-stream bench-call fuzz chaos metrics check
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # concurrent packages plus the root package (streaming e2e identity)
 # and the FASTQ parser (fuzz seed corpus).
 race:
-	$(GO) test -race . ./internal/core/... ./internal/cluster/... ./internal/genome/... ./internal/obs/... ./internal/fastq/...
+	$(GO) test -race . ./internal/core/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/obs/... ./internal/fastq/...
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,12 @@ bench-phmm:
 # BENCH_stream.json: reads/sec, peak heap, peak resident reads).
 bench-stream:
 	$(GO) run ./cmd/snpbench -exp stream -length 120000 -coverage 6
+
+# Parallel post-map phase: chunked calling sweep at 1/2/4/8 workers
+# (call set asserted identical to serial) plus striped-vs-sharded
+# accumulation throughput (writes BENCH_call.json).
+bench-call:
+	$(GO) run ./cmd/snpbench -exp call -length 150000 -coverage 6
 
 # Short coverage-guided fuzz pass over the FASTQ parser (the checked-in
 # seed corpus always runs as part of plain `go test`).

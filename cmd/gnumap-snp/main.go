@@ -6,7 +6,8 @@
 //
 //	gnumap-snp -ref reference.fa -reads reads.fq -o calls.vcf \
 //	    [-diploid] [-alpha 0.05] [-fdr] [-memory norm|chardisc|centdisc] \
-//	    [-workers N] [-stream=false] [-batch 64] [-queue 4] \
+//	    [-workers N] [-accum-mode auto|striped|sharded] [-call-workers N] \
+//	    [-stream=false] [-batch 64] [-queue 4] \
 //	    [-nodes N -split read|genome [-tcp]] \
 //	    [-op-timeout 5s] [-heartbeat 100ms] [-chaos seed=42,drop=0.01] \
 //	    [-metrics-out metrics.json] [-pprof localhost:6060] \
@@ -59,6 +60,8 @@ func run() error {
 		fdr        = flag.Bool("fdr", false, "Benjamini-Hochberg FDR control instead of the fixed cutoff")
 		memory     = flag.String("memory", "norm", "accumulator layout: norm, chardisc, centdisc")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
+		accumMode  = flag.String("accum-mode", "auto", "accumulator write strategy: auto, striped (lock stripes on one shared copy), or sharded (lock-free per-worker shards, merged before calling)")
+		callWk     = flag.Int("call-workers", 0, "calling-sweep worker count (0 = GOMAXPROCS, 1 = serial; results are bit-identical regardless)")
 		stream     = flag.Bool("stream", true, "stream reads through the bounded pipeline instead of materializing the FASTQ (auto-off with -fit or -sam, which need the full read slice)")
 		batch      = flag.Int("batch", 0, "reads per streaming batch (0 = default 64)")
 		queue      = flag.Int("queue", 0, "streaming work-queue bound, in batches (0 = default 4)")
@@ -140,6 +143,12 @@ func run() error {
 	opts.Engine.Band = *band
 	opts.Engine.Batch = *batch
 	opts.Engine.Queue = *queue
+	accum, err := gnumap.ParseAccumStrategy(*accumMode)
+	if err != nil {
+		return err
+	}
+	opts.Engine.Accum = accum
+	opts.Caller.CallWorkers = *callWk
 	if *fit {
 		sample := reads
 		if len(sample) > 2000 {

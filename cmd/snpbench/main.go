@@ -35,9 +35,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("snpbench: ")
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, stream, metrics, all")
+		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, stream, call, metrics, all")
 		benchOut   = flag.String("benchout", "BENCH_phmm.json", "output path for the phmm kernel benchmark JSON")
 		streamOut  = flag.String("streamout", "BENCH_stream.json", "output path for the streaming pipeline benchmark JSON")
+		callOut    = flag.String("callout", "BENCH_call.json", "output path for the parallel post-map phase benchmark JSON")
 		length     = flag.Int("length", 400_000, "simulated genome length")
 		snps       = flag.Int("snps", 0, "planted SNP count (default: paper density, length/10500)")
 		coverage   = flag.Float64("coverage", 12, "read coverage")
@@ -91,7 +92,7 @@ func main() {
 		wants[strings.TrimSpace(e)] = true
 	}
 	all := wants["all"]
-	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["stream"] || wants["metrics"]
+	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["stream"] || wants["call"] || wants["metrics"]
 
 	var ds *experiments.Dataset
 	if needData {
@@ -148,6 +149,10 @@ func main() {
 	}
 	if all || wants["stream"] {
 		runStream(ds, *workers, *streamOut)
+		ran = true
+	}
+	if all || wants["call"] {
+		runCall(ds, *workers, *callOut)
 		ran = true
 	}
 	if all || wants["metrics"] {
@@ -368,6 +373,61 @@ func runStream(ds *experiments.Dataset, workers int, outPath string) {
 		GoArch:    runtime.GOARCH,
 		Input:     fmt.Sprintf("%d reads, workers=%d batch=%d queue=%d", rows[0].Reads, workers, batch, queue),
 		Rows:      rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+}
+
+// runCall measures the parallel post-map phase: the chunked LRT calling
+// sweep at 1/2/4/8 workers (asserting the call set never changes) and
+// AddRange throughput under striped vs sharded accumulation, writing
+// the machine-readable BENCH_call.json. On a single-CPU host the
+// measured speedups stay flat (goroutines timeshare one core); the
+// modeled column projects the measured serial fraction onto a host with
+// that many cores, following the Fig4/Fig5 convention.
+func runCall(ds *experiments.Dataset, workers int, outPath string) {
+	fmt.Printf("CALL — parallel calling sweep + accumulation strategies (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	callRows, accumRows, err := experiments.CallBench(ds, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %10s %12s %8s %8s %9s %9s %10s\n",
+		"workers", "wall", "pos/sec", "calls", "tested", "measured", "modeled", "identical")
+	for _, r := range callRows {
+		wall := time.Duration(r.WallNs)
+		fmt.Printf("%-8d %10s %12.0f %8d %8d %8.2fx %8.2fx %10v\n",
+			r.Workers, wall.Round(msRound(wall)), r.PosPerSec, r.Calls, r.Tested,
+			r.MeasuredSpeedup, r.ModeledSpeedup, r.Identical)
+	}
+	fmt.Printf("%-8s %11s %10s %12s %12s\n", "strategy", "goroutines", "wall", "adds/sec", "merge")
+	for _, r := range accumRows {
+		wall := time.Duration(r.WallNs)
+		fmt.Printf("%-8s %11d %10s %12.0f %12s\n",
+			r.Strategy, r.Goroutines, wall.Round(msRound(wall)), r.AddsPerSec,
+			time.Duration(r.MergeNs).Round(time.Microsecond))
+	}
+	report := struct {
+		Generated  string                      `json:"generated"`
+		GoOS       string                      `json:"goos"`
+		GoArch     string                      `json:"goarch"`
+		GoMaxProcs int                         `json:"gomaxprocs"`
+		Input      string                      `json:"input"`
+		CallRows   []experiments.CallBenchRow  `json:"call_rows"`
+		AccumRows  []experiments.AccumBenchRow `json:"accum_rows"`
+	}{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Input:      fmt.Sprintf("%d positions, %d reads, map workers=%d", ds.Ref.Len(), len(ds.Reads), workers),
+		CallRows:   callRows,
+		AccumRows:  accumRows,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

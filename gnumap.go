@@ -83,6 +83,29 @@ const (
 	MemCentDisc = genome.CentDisc
 )
 
+// AccumStrategy selects how parallel mapping workers write the
+// accumulator: through 4096-position lock stripes on one shared copy,
+// or lock-free into private per-worker shards folded by a parallel
+// tree merge before the first read. Set via EngineConfig.Accum.
+type AccumStrategy = core.AccumStrategy
+
+// The accumulation strategies.
+const (
+	// AccumAuto picks sharded when Workers > 1 and the per-worker
+	// copies fit EngineConfig.AccumMemBudget, striped otherwise.
+	AccumAuto = core.AccumAuto
+	// AccumStriped forces the single lock-striped accumulator.
+	AccumStriped = core.AccumStriped
+	// AccumSharded forces private per-worker shards.
+	AccumSharded = core.AccumSharded
+)
+
+// ParseAccumStrategy parses "auto", "striped", or "sharded" (the
+// -accum-mode CLI values) into an AccumStrategy.
+func ParseAccumStrategy(s string) (AccumStrategy, error) {
+	return core.ParseAccumStrategy(s)
+}
+
 // Ploidy selects the LRT hypothesis family.
 type Ploidy = lrt.Ploidy
 
@@ -207,11 +230,19 @@ func NewPipeline(reference []*Contig, opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc, err := genome.New(opts.Memory, ref.Len())
+	acc, err := core.NewAccumulator(opts.Memory, ref.Len(), opts.Engine)
 	if err != nil {
 		return nil, err
 	}
 	return &Pipeline{ref: ref, eng: eng, acc: acc, opts: opts}, nil
+}
+
+// combined folds any outstanding per-worker shards into the base
+// accumulator (a no-op for the striped layout) so read paths — calling,
+// pileup, coverage, checkpointing — see the full accumulated mass
+// without paying the sharded wrapper's per-position locking.
+func (p *Pipeline) combined() (genome.Accumulator, error) {
+	return core.CombineAccumulator(p.acc, p.opts.Engine.Metrics)
 }
 
 // MapReads maps a batch of reads into the pipeline's accumulator using
@@ -230,8 +261,16 @@ func (p *Pipeline) MapReadsFrom(src ReadSource) (MapStats, error) {
 }
 
 // Call runs the likelihood-ratio SNP caller over the accumulated state.
+// With Caller.CallWorkers > 1 (or 0 on a multi-core host) the sweep is
+// chunked across a worker pool; the result is bit-identical to the
+// serial sweep because candidates concatenate in genome order before
+// the single global significance pass.
 func (p *Pipeline) Call() ([]SNPCall, CallStats, error) {
-	return snp.CallAll(p.ref, p.acc, p.opts.Caller)
+	acc, err := p.combined()
+	if err != nil {
+		return nil, CallStats{}, err
+	}
+	return snp.CallAll(p.ref, acc, p.opts.Caller)
 }
 
 // WriteVCF writes calls as VCF 4.2.
@@ -250,16 +289,24 @@ func (p *Pipeline) WriteSAM(w io.Writer, reads []*Read) error {
 // WritePileup writes the per-position probability pileup as TSV for
 // positions with at least minDepth accumulated mass.
 func (p *Pipeline) WritePileup(w io.Writer, minDepth float64) error {
-	return snp.WritePileup(w, p.ref, p.acc, 0, 0, p.ref.Len(), minDepth)
+	acc, err := p.combined()
+	if err != nil {
+		return err
+	}
+	return snp.WritePileup(w, p.ref, acc, 0, 0, p.ref.Len(), minDepth)
 }
 
 // SaveState serializes the pipeline's accumulated per-position state
 // so a long accumulation run can be checkpointed and resumed (or moved
 // between machines).
 func (p *Pipeline) SaveState(w io.Writer) error {
-	st, ok := p.acc.(genome.Stateful)
+	acc, err := p.combined()
+	if err != nil {
+		return err
+	}
+	st, ok := acc.(genome.Stateful)
 	if !ok {
-		return fmt.Errorf("gnumap: memory mode %v is not serializable", p.acc.Mode())
+		return fmt.Errorf("gnumap: memory mode %v is not serializable", acc.Mode())
 	}
 	data, err := st.State()
 	if err != nil {
@@ -342,7 +389,13 @@ func SummarizeReads(reads []*Read) ReadStats {
 // CoverageStats summarizes the pipeline's accumulated depth after
 // MapReads.
 func (p *Pipeline) CoverageStats() CoverageStats {
-	return qc.SummarizeCoverage(p.acc, 64)
+	acc, err := p.combined()
+	if err != nil {
+		// Combine only fails on layout mismatches a Pipeline cannot
+		// produce; fall back to the lazily-combining wrapper.
+		acc = p.acc
+	}
+	return qc.SummarizeCoverage(acc, 64)
 }
 
 // Allele is a called base channel (A, C, G, T, or gap).
@@ -807,7 +860,7 @@ func runClusterNode(c *cluster.Comm, mode SplitMode, ref *genome.Reference,
 			// lists and shard-local n, so genome-split call sets diverged
 			// from single-process runs. Gather the candidates and apply
 			// one global BH pass at rank 0 instead.
-			cands, _, err := snp.CollectRange(ref, acc, lo, lo, hi, opts.Caller)
+			cands, _, err := snp.CollectRangeParallel(ref, acc, lo, lo, hi, opts.Caller)
 			if err != nil {
 				return err
 			}

@@ -60,7 +60,7 @@ func RunReadSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, m
 	if err != nil {
 		return nil, st, err
 	}
-	acc, err := genome.New(mode, ref.Len())
+	acc, err := NewAccumulator(mode, ref.Len(), cfg)
 	if err != nil {
 		return nil, st, err
 	}
@@ -69,7 +69,13 @@ func RunReadSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read, m
 	if err != nil {
 		return nil, st, err
 	}
-	return reduceReadSplit(c, acc, mode, ref.Len(), local)
+	// Fold worker shards before the cross-rank reduction so the
+	// collective tail always sees a plain striped accumulator.
+	combined, err := CombineAccumulator(acc, cfg.Metrics)
+	if err != nil {
+		return nil, st, err
+	}
+	return reduceReadSplit(c, combined, mode, ref.Len(), local)
 }
 
 // reduceReadSplit is the collective tail shared by the slice and
@@ -191,6 +197,9 @@ func RunGenomeSplit(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read,
 	}
 	eng.ownLo, eng.ownHi = lo, hi
 
+	// Genome-split drives one serial mapper per rank (the Allreduce
+	// rounds are the bottleneck, not lock contention), so the striped
+	// accumulator is always the right layout here.
 	acc, err := genome.New(mode, hi-lo)
 	if err != nil {
 		return nil, 0, 0, st, err
@@ -511,6 +520,9 @@ func runReadSplitFT(c *cluster.Comm, ref *genome.Reference, reads []*fastq.Read,
 	if err != nil {
 		return nil, st, err
 	}
+	// The FT protocol serializes and re-serializes accumulator state
+	// around every reassignment; it stays on the striped layout so each
+	// report is a single State() with no shard bookkeeping in between.
 	acc, err := genome.New(mode, ref.Len())
 	if err != nil {
 		return nil, st, err

@@ -85,7 +85,7 @@ func RunReadSplitStream(c *cluster.Comm, ref *genome.Reference, src fastq.Source
 	if err != nil {
 		return nil, st, err
 	}
-	acc, err := genome.New(mode, ref.Len())
+	acc, err := NewAccumulator(mode, ref.Len(), cfg)
 	if err != nil {
 		return nil, st, err
 	}
@@ -101,7 +101,13 @@ func RunReadSplitStream(c *cluster.Comm, ref *genome.Reference, src fastq.Source
 	if err != nil {
 		return nil, st, err
 	}
-	return reduceReadSplit(c, acc, mode, ref.Len(), local)
+	// Fold worker shards before the cross-rank reduction (no-op for a
+	// striped accumulator).
+	combined, err := CombineAccumulator(acc, cfg.Metrics)
+	if err != nil {
+		return nil, st, err
+	}
+	return reduceReadSplit(c, combined, mode, ref.Len(), local)
 }
 
 // localPipe starts MapReadsFrom on a channel-backed source and returns

@@ -99,6 +99,16 @@ type Config struct {
 	// BestHitOnly keeps only the highest-likelihood location per read
 	// (ablation of multi-location posterior weighting).
 	BestHitOnly bool
+	// Accum selects how mapping workers share the accumulator: striped
+	// locks (memory-tight), per-worker lock-free shards (contention-
+	// free), or the default auto heuristic — sharded iff Workers > 1
+	// and (Workers+1) genome-state copies fit AccumMemBudget. The
+	// strategy takes effect for accumulators built via NewAccumulator;
+	// the worker pools shard any genome.ShardProvider handed to them.
+	Accum AccumStrategy
+	// AccumMemBudget bounds the auto strategy's total accumulator
+	// memory in bytes (default DefaultAccumMemBudget, 1 GiB).
+	AccumMemBudget int64
 	// Metrics, when non-nil, receives the engine's stage timers and
 	// counters: map.seed.seconds (PWM build + candidate lookup),
 	// map.align.seconds (Pair-HMM over all of a read's candidates),
@@ -148,7 +158,20 @@ func (c Config) withDefaults() Config {
 	if c.MinLocLogLik == 0 {
 		c.MinLocLogLik = -2.0
 	}
+	if c.AccumMemBudget == 0 {
+		c.AccumMemBudget = DefaultAccumMemBudget
+	}
 	return c
+}
+
+// workerTarget resolves the accumulator one worker goroutine should
+// write through: a private lock-free shard when the accumulator is
+// sharded, the shared (striped) accumulator otherwise.
+func workerTarget(acc genome.Accumulator) genome.Accumulator {
+	if sp, ok := acc.(genome.ShardProvider); ok {
+		return sp.WorkerShard()
+	}
+	return acc
 }
 
 // effectiveBand resolves the Band knob into the width passed to
@@ -729,6 +752,7 @@ func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset
 				latch(err)
 				return
 			}
+			target := workerTarget(acc)
 			for {
 				if stop.Load() {
 					return
@@ -742,7 +766,7 @@ func (e *Engine) MapReads(reads []*fastq.Read, acc genome.Accumulator, accOffset
 					hi = int64(len(reads))
 				}
 				for _, rd := range reads[lo:hi] {
-					if err := m.consumeRead(rd, acc, accOffset, &st); err != nil {
+					if err := m.consumeRead(rd, target, accOffset, &st); err != nil {
 						latch(err)
 						return
 					}

@@ -184,6 +184,7 @@ func (e *Engine) MapReadsFrom(src fastq.Source, acc genome.Accumulator, accOffse
 				latch(err)
 				return
 			}
+			target := workerTarget(acc)
 			for b := range work {
 				select {
 				case <-stopCh:
@@ -195,7 +196,7 @@ func (e *Engine) MapReadsFrom(src fastq.Source, acc genome.Accumulator, accOffse
 					sm.queueDepth.Set(float64(len(work)))
 				}
 				for _, rd := range b.reads {
-					if err := m.consumeRead(rd, acc, accOffset, &st); err != nil {
+					if err := m.consumeRead(rd, target, accOffset, &st); err != nil {
 						latch(err)
 						return
 					}

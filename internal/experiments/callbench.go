@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"gnumap/internal/core"
+	"gnumap/internal/genome"
+	"gnumap/internal/lrt"
+	"gnumap/internal/snp"
+)
+
+// CallBenchRow is one calling-sweep measurement, emitted by snpbench as
+// part of BENCH_call.json so successive PRs can track the parallel
+// post-map phase. Identical must be true on every row: the parallel
+// sweep is bit-identical to the serial one by construction, and the
+// benchmark re-verifies it on the real accumulator.
+type CallBenchRow struct {
+	// Workers is the Caller.CallWorkers setting (1 = serial baseline).
+	Workers int `json:"workers"`
+	// Positions is the swept range length; Calls/Tested the outcome.
+	Positions int `json:"positions"`
+	Calls     int `json:"calls"`
+	Tested    int `json:"tested"`
+	// WallNs is the CallAll wall time; PosPerSec the sweep throughput.
+	WallNs    int64   `json:"wall_ns"`
+	PosPerSec float64 `json:"pos_per_sec"`
+	// MeasuredSpeedup is serial wall / this wall. On a single-CPU host
+	// the goroutines serialize and this stays ~1 regardless of Workers;
+	// ModeledSpeedup is the Amdahl projection for a host with Workers
+	// independent cores, using the measured serial fraction (the global
+	// FinalizeCalls pass that cannot be chunked).
+	MeasuredSpeedup float64 `json:"measured_speedup"`
+	ModeledSpeedup  float64 `json:"modeled_speedup"`
+	// Identical reports whether calls and stats matched the serial run
+	// exactly (DeepEqual).
+	Identical bool `json:"identical"`
+}
+
+// AccumBenchRow is one accumulation-strategy measurement: G goroutines
+// issuing interleaved AddRange windows against one striped accumulator
+// or private per-goroutine shards (combine included in the wall time).
+type AccumBenchRow struct {
+	Strategy   string  `json:"strategy"` // "striped" or "sharded"
+	Goroutines int     `json:"goroutines"`
+	Adds       int     `json:"adds"`
+	WallNs     int64   `json:"wall_ns"`
+	AddsPerSec float64 `json:"adds_per_sec"`
+	// MergeNs is the sharded tree-merge cost folded into WallNs
+	// (0 on the striped rows, which have nothing to merge).
+	MergeNs int64 `json:"merge_ns"`
+}
+
+// CallBench maps the dataset once into a striped accumulator, then
+// measures the LRT calling sweep serially and at each worker count,
+// asserting the call set never changes. It also measures raw AddRange
+// throughput under both accumulation strategies at 1/4/8 goroutines.
+//
+// Single-CPU caveat: with GOMAXPROCS=1 the worker goroutines timeshare
+// one core, so MeasuredSpeedup ~1 and sharded accumulation pays its
+// merge without any contention to win back. The modeled columns follow
+// the repo's Fig4/Fig5 convention of reporting both honestly.
+func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []AccumBenchRow, error) {
+	eng, err := core.NewEngine(ds.Ref, core.Config{Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	acc, err := genome.New(genome.Norm, ds.Ref.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := eng.MapReads(ds.Reads, acc, 0); err != nil {
+		return nil, nil, err
+	}
+
+	ccfg := snp.Config{Ploidy: lrt.Diploid, UseFDR: true, CallWorkers: 1}
+
+	// Warm the caches so the serial baseline is not penalized for going
+	// first.
+	if _, _, err := snp.CollectRange(ds.Ref, acc, 0, 0, ds.Ref.Len(), ccfg); err != nil {
+		return nil, nil, err
+	}
+	// Serial baseline, timing the two halves separately: the sweep
+	// parallelizes, the finalize (sort + one global BH pass) cannot be
+	// chunked and is the Amdahl serial fraction.
+	sweepStart := time.Now()
+	cands, _, err := snp.CollectRange(ds.Ref, acc, 0, 0, ds.Ref.Len(), ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sweepWall := time.Since(sweepStart)
+	finStart := time.Now()
+	wantCalls, wantSt, err := snp.FinalizeCalls(cands, ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	finWall := time.Since(finStart)
+	serialWall := sweepWall + finWall
+	serialFrac := finWall.Seconds() / serialWall.Seconds()
+
+	n := ds.Ref.Len()
+	callRows := []CallBenchRow{{
+		Workers: 1, Positions: n, Calls: len(wantCalls), Tested: wantSt.Tested,
+		WallNs: serialWall.Nanoseconds(), PosPerSec: float64(n) / serialWall.Seconds(),
+		MeasuredSpeedup: 1, ModeledSpeedup: 1, Identical: true,
+	}}
+	for _, w := range []int{2, 4, 8} {
+		cfg := ccfg
+		cfg.CallWorkers = w
+		start := time.Now()
+		calls, st, err := snp.CallAll(ds.Ref, acc, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		wall := time.Since(start)
+		identical := reflect.DeepEqual(calls, wantCalls) && reflect.DeepEqual(st, wantSt)
+		if !identical {
+			return nil, nil, fmt.Errorf("experiments: parallel caller (workers=%d) diverged from serial", w)
+		}
+		callRows = append(callRows, CallBenchRow{
+			Workers: w, Positions: n, Calls: len(calls), Tested: st.Tested,
+			WallNs: wall.Nanoseconds(), PosPerSec: float64(n) / wall.Seconds(),
+			MeasuredSpeedup: serialWall.Seconds() / wall.Seconds(),
+			ModeledSpeedup:  1 / (serialFrac + (1-serialFrac)/float64(w)),
+			Identical:       identical,
+		})
+	}
+
+	accumRows, err := accumBench(ds.Ref.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	return callRows, accumRows, nil
+}
+
+// accumBench times interleaved AddRange windows against both strategies
+// at several goroutine counts. Every configuration performs the same
+// total adds; sharded rows include the tree merge.
+func accumBench(length int) ([]AccumBenchRow, error) {
+	const totalAdds = 100_000
+	window := make([]genome.Vec, 62)
+	for i := range window {
+		window[i] = genome.Vec{0.25, 0.25, 0.25, 0.24, 0.01}
+	}
+	span := length - len(window) - 1
+	if span < 1 {
+		return nil, fmt.Errorf("experiments: genome too short for accum bench")
+	}
+
+	var rows []AccumBenchRow
+	for _, strategy := range []string{"striped", "sharded"} {
+		for _, g := range []int{1, 4, 8} {
+			var acc genome.Accumulator
+			var err error
+			if strategy == "sharded" {
+				acc, err = genome.NewSharded(genome.Norm, length)
+			} else {
+				acc, err = genome.New(genome.Norm, length)
+			}
+			if err != nil {
+				return nil, err
+			}
+			perG := totalAdds / g
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					target := acc
+					if sp, ok := acc.(genome.ShardProvider); ok {
+						target = sp.WorkerShard()
+					}
+					for i := 0; i < perG; i++ {
+						pos := ((i*g + w) * 977) % span
+						target.AddRange(pos, window, 1)
+					}
+				}(w)
+			}
+			wg.Wait()
+			var mergeNs int64
+			if sp, ok := acc.(genome.ShardProvider); ok {
+				mStart := time.Now()
+				if _, err := sp.Combine(); err != nil {
+					return nil, err
+				}
+				mergeNs = time.Since(mStart).Nanoseconds()
+			}
+			wall := time.Since(start)
+			rows = append(rows, AccumBenchRow{
+				Strategy: strategy, Goroutines: g, Adds: perG * g,
+				WallNs:     wall.Nanoseconds(),
+				AddsPerSec: float64(perG*g) / wall.Seconds(),
+				MergeNs:    mergeNs,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -2,6 +2,7 @@ package kmer
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"gnumap/internal/dna"
@@ -43,4 +44,90 @@ func BenchmarkCandidates62(b *testing.B) {
 			b.Fatal("no candidates")
 		}
 	}
+}
+
+// legacyCandidatesInto is the pre-open-addressing implementation
+// (map-based vote table, clamp inside the voting loop), kept here only
+// as the before/after baseline for BenchmarkCandidatesInto.
+func legacyCandidatesInto(ix *Index, read dna.Seq, opt CandidateOptions, votes map[int32]int32, out []Candidate) []Candidate {
+	stride := opt.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	minVotes := opt.MinVotes
+	if minVotes <= 0 {
+		minVotes = 1
+	}
+	clear(votes)
+	for off := 0; off+ix.k <= len(read); off += stride {
+		m, ok := dna.PackKmer(read, off, ix.k)
+		if !ok {
+			continue
+		}
+		hits := ix.Lookup(m)
+		if opt.MaxBucket > 0 && len(hits) > opt.MaxBucket {
+			continue
+		}
+		for _, p := range hits {
+			start := p - int32(off)
+			if opt.Slack > 0 {
+				start -= start % int32(opt.Slack+1)
+			}
+			if start < 0 {
+				start = 0
+			}
+			votes[start]++
+		}
+	}
+	cands := out[:0]
+	for start, v := range votes {
+		if int(v) >= minVotes {
+			cands = append(cands, Candidate{Start: start, Votes: v})
+		}
+	}
+	slices.SortFunc(cands, func(a, b Candidate) int {
+		if a.Votes != b.Votes {
+			return int(b.Votes - a.Votes)
+		}
+		return int(a.Start - b.Start)
+	})
+	if opt.MaxCandidates > 0 && len(cands) > opt.MaxCandidates {
+		cands = cands[:opt.MaxCandidates]
+	}
+	return cands
+}
+
+// BenchmarkCandidatesInto compares the open-addressing epoch-cleared
+// vote table against the previous map[int32]int32 implementation on the
+// steady-state (warm scratch) candidate-generation path.
+func BenchmarkCandidatesInto(b *testing.B) {
+	g := benchGenome(b, 1_000_000)
+	idx, err := New(g, DefaultK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	read := g[500_000:500_062].Clone()
+	read[31] = dna.Code((int(read[31]) + 1) % 4)
+	opts := CandidateOptions{MaxCandidates: 8, MinVotes: 2, MaxBucket: 1024, Slack: 2}
+
+	b.Run("table", func(b *testing.B) {
+		var buf CandidateBuf
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := idx.CandidatesInto(read, opts, &buf); len(got) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
+	b.Run("legacy-map", func(b *testing.B) {
+		votes := make(map[int32]int32, 64)
+		out := make([]Candidate, 0, 64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got := legacyCandidatesInto(idx, read, opts, votes, out)
+			if len(got) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
 }

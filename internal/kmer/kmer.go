@@ -146,9 +146,90 @@ type CandidateOptions struct {
 // CandidateBuf is reusable scratch for CandidatesInto, letting a
 // per-worker caller run candidate generation without steady-state heap
 // allocations. The zero value is ready to use.
+//
+// The diagonal-voting table is open-addressed (linear probing) rather
+// than a Go map: per read it is cleared by bumping an epoch counter
+// instead of rehashing or rezeroing, so the steady-state cost per read
+// is a handful of cache-line touches with no map-bucket churn.
 type CandidateBuf struct {
-	votes map[int32]int32
+	// Slot i is live iff epoch[i] == cur; keys/vals are only meaningful
+	// for live slots. used lists the live slots for O(live) emission.
+	keys  []int32
+	vals  []int32
+	epoch []uint32
+	used  []int32
+	cur   uint32
 	out   []Candidate
+}
+
+// minVoteTable is the initial open-addressing table size; must be a
+// power of two.
+const minVoteTable = 64
+
+// beginRead prepares the table for a new read's votes by advancing the
+// epoch. On the (rare) uint32 wraparound the epoch array is rezeroed so
+// stale epochs can never alias the new one.
+func (b *CandidateBuf) beginRead() {
+	if len(b.keys) == 0 {
+		b.keys = make([]int32, minVoteTable)
+		b.vals = make([]int32, minVoteTable)
+		b.epoch = make([]uint32, minVoteTable)
+	}
+	b.used = b.used[:0]
+	b.cur++
+	if b.cur == 0 {
+		clear(b.epoch)
+		b.cur = 1
+	}
+}
+
+// vote adds one vote for the (possibly negative) diagonal key.
+func (b *CandidateBuf) vote(key int32) {
+	mask := uint32(len(b.keys) - 1)
+	// Fibonacci-style multiplicative hash; the table size is a power of
+	// two so the low bits of the product index it directly.
+	for i := uint32(key) * 2654435761 & mask; ; i = (i + 1) & mask {
+		if b.epoch[i] != b.cur {
+			b.epoch[i] = b.cur
+			b.keys[i] = key
+			b.vals[i] = 1
+			b.used = append(b.used, int32(i))
+			if 4*len(b.used) >= 3*len(b.keys) {
+				b.growTable()
+			}
+			return
+		}
+		if b.keys[i] == key {
+			b.vals[i]++
+			return
+		}
+	}
+}
+
+// growTable doubles the table and reinserts the live slots. Growth
+// allocates, but the table never shrinks, so a warm buffer reaches its
+// high-water size once and then runs allocation-free.
+func (b *CandidateBuf) growTable() {
+	oldKeys, oldVals, oldUsed := b.keys, b.vals, b.used
+	n := 2 * len(oldKeys)
+	b.keys = make([]int32, n)
+	b.vals = make([]int32, n)
+	b.epoch = make([]uint32, n)
+	b.used = make([]int32, 0, len(oldUsed)*2)
+	b.cur = 1
+	mask := uint32(n - 1)
+	for _, slot := range oldUsed {
+		key, val := oldKeys[slot], oldVals[slot]
+		for i := uint32(key) * 2654435761 & mask; ; i = (i + 1) & mask {
+			if b.epoch[i] != b.cur {
+				b.epoch[i] = b.cur
+				b.keys[i] = key
+				b.vals[i] = val
+				b.used = append(b.used, int32(i))
+				break
+			}
+		}
+	}
 }
 
 // Candidates seeds every (strided) k-mer of the read into the index and
@@ -170,11 +251,7 @@ func (ix *Index) CandidatesInto(read dna.Seq, opt CandidateOptions, buf *Candida
 	if minVotes <= 0 {
 		minVotes = 1
 	}
-	if buf.votes == nil {
-		buf.votes = make(map[int32]int32, 64)
-	}
-	votes := buf.votes
-	clear(votes)
+	buf.beginRead()
 	for off := 0; off+ix.k <= len(read); off += stride {
 		m, ok := dna.PackKmer(read, off, ix.k)
 		if !ok {
@@ -188,19 +265,21 @@ func (ix *Index) CandidatesInto(read dna.Seq, opt CandidateOptions, buf *Candida
 			start := p - int32(off)
 			if opt.Slack > 0 {
 				// Snap the diagonal to a grid so small indel shifts
-				// coalesce into the same candidate region.
+				// coalesce into the same candidate region. Go's % keeps
+				// the sign, so negative diagonals land on a uniform grid
+				// too (-6, -3, 0, 3 for slack 2).
 				start -= start % int32(opt.Slack+1)
 			}
-			if start < 0 {
-				start = 0
-			}
-			votes[start]++
+			// Vote on the true (possibly negative) diagonal. Clamping
+			// here used to pool every read-hangs-off-the-left-edge
+			// diagonal into position 0, inflating its vote count.
+			buf.vote(start)
 		}
 	}
 	cands := buf.out[:0]
-	for start, v := range votes {
-		if int(v) >= minVotes {
-			cands = append(cands, Candidate{Start: start, Votes: v})
+	for _, slot := range buf.used {
+		if v := buf.vals[slot]; int(v) >= minVotes {
+			cands = append(cands, Candidate{Start: buf.keys[slot], Votes: v})
 		}
 	}
 	slices.SortFunc(cands, func(a, b Candidate) int {
@@ -209,6 +288,23 @@ func (ix *Index) CandidatesInto(read dna.Seq, opt CandidateOptions, buf *Candida
 		}
 		return int(a.Start - b.Start)
 	})
+	// Clamp negative implied starts to 0 only now, after voting. The
+	// clamp can make several candidates collide at start 0; keep the
+	// best-voted one (they describe the same leftmost alignment window,
+	// and summing would reintroduce the pooling bug).
+	kept := cands[:0]
+	zeroSeen := false
+	for _, c := range cands {
+		if c.Start <= 0 {
+			if zeroSeen {
+				continue
+			}
+			zeroSeen = true
+			c.Start = 0
+		}
+		kept = append(kept, c)
+	}
+	cands = kept
 	buf.out = cands
 	if opt.MaxCandidates > 0 && len(cands) > opt.MaxCandidates {
 		cands = cands[:opt.MaxCandidates]

@@ -210,6 +210,76 @@ func TestNegativeDiagonalClamped(t *testing.T) {
 	}
 }
 
+// TestNegativeDiagonalVotesNotPooled: distinct negative implied starts
+// must NOT pool their votes into one inflated position-0 candidate.
+// Position 0 gets the *best* negative/zero diagonal's votes, not the sum.
+func TestNegativeDiagonalVotesNotPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	genome := make(dna.Seq, 40)
+	for i := range genome {
+		genome[i] = dna.Code(rng.Intn(4))
+	}
+	const k = 4
+	ix, err := New(genome, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// read[8:16] matches genome[1:9]  -> implied start 1-8  = -7
+	// read[16:24] matches genome[12:20] -> implied start 12-16 = -4
+	// The N prefix keeps those k-mers from voting anywhere else.
+	read := dna.MustParseSeq("NNNNNNNN")
+	read = append(read, genome[1:9].Clone()...)
+	read = append(read, genome[12:20].Clone()...)
+
+	// Independent oracle: vote on true diagonals with a plain map; the
+	// position-0 candidate must carry the best non-positive diagonal's
+	// votes, not their sum.
+	votes := map[int32]int32{}
+	for off := 0; off+k <= len(read); off++ {
+		m, ok := dna.PackKmer(read, off, k)
+		if !ok {
+			continue
+		}
+		for _, p := range ix.Lookup(m) {
+			votes[p-int32(off)]++
+		}
+	}
+	var wantZero, sumNonPos int32
+	negDiags := 0
+	for d, v := range votes {
+		if d <= 0 {
+			sumNonPos += v
+			if d < 0 {
+				negDiags++
+			}
+			if v > wantZero {
+				wantZero = v
+			}
+		}
+	}
+	if negDiags < 2 {
+		t.Fatalf("construction broken: %d negative diagonals voted, want >=2", negDiags)
+	}
+	if sumNonPos <= wantZero {
+		t.Fatalf("construction broken: pooling would be invisible (sum %d, max %d)", sumNonPos, wantZero)
+	}
+
+	cands := ix.Candidates(read, CandidateOptions{})
+	zeros := 0
+	for _, c := range cands {
+		if c.Start == 0 {
+			zeros++
+			if c.Votes != wantZero {
+				t.Errorf("position-0 votes = %d, want max %d (pooled sum would be %d)",
+					c.Votes, wantZero, sumNonPos)
+			}
+		}
+	}
+	if zeros != 1 {
+		t.Errorf("%d candidates at position 0, want exactly 1", zeros)
+	}
+}
+
 func TestMemoryBytesPositive(t *testing.T) {
 	ix, err := New(dna.MustParseSeq("ACGTACGTACGT"), 4)
 	if err != nil {

@@ -67,9 +67,21 @@ type Config struct {
 	// heterozygotes sit near 0.5. This is the allele-balance filter
 	// every production genotyper applies in some form.
 	MinHetMinorFraction float64
+	// CallWorkers sets the calling sweep's worker count: 0 uses
+	// GOMAXPROCS, 1 or negative forces the serial sweep. The parallel
+	// sweep is bit-identical to the serial one — chunks are
+	// concatenated in genome order before the single global
+	// significance pass.
+	CallWorkers int
+	// CallChunk is the chunk size, in genome positions, of the
+	// parallel calling sweep (0 picks range/(4·workers), floored at
+	// 2048, so chunks stay large enough to amortize dispatch but small
+	// enough to balance load).
+	CallChunk int
 	// Metrics, when non-nil, receives the caller's stage timers and
 	// counters (call.collect.seconds, call.finalize.seconds,
-	// call.tested, call.significant, call.snps).
+	// call.tested, call.significant, call.snps; the parallel sweep adds
+	// call.workers, call.chunks and per-chunk call.sweep.seconds).
 	Metrics *obs.Registry
 }
 
@@ -242,7 +254,7 @@ func FinalizeCalls(candidates []Candidate, cfg Config) ([]Call, Stats, error) {
 // exactly the positions of [from, to); distributed callers whose family
 // spans several accumulators must use CollectRange + FinalizeCalls.
 func CallRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to int, cfg Config) ([]Call, Stats, error) {
-	candidates, st, err := CollectRange(ref, acc, offset, from, to, cfg)
+	candidates, st, err := CollectRangeParallel(ref, acc, offset, from, to, cfg)
 	if err != nil {
 		return nil, st, err
 	}

@@ -2,7 +2,7 @@ package stats
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // BenjaminiHochberg computes Benjamini–Hochberg adjusted p-values
@@ -25,7 +25,19 @@ func BenjaminiHochberg(pvalues []float64) ([]float64, error) {
 		}
 		entries[i] = entry{p, i}
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].p < entries[j].p })
+	// Ties may land in either order; the suffix-min walk below assigns
+	// equal p-values equal q-values either way, so an unstable sort is
+	// fine and the faster non-reflective one is used.
+	slices.SortFunc(entries, func(a, b entry) int {
+		switch {
+		case a.p < b.p:
+			return -1
+		case a.p > b.p:
+			return 1
+		default:
+			return 0
+		}
+	})
 	q := make([]float64, n)
 	// Walk from the largest p down, enforcing monotonicity.
 	minSoFar := 1.0
