@@ -10,10 +10,11 @@ test:
 
 # The engine, accumulators, cluster runtime and metrics registry are
 # concurrent; -race on the full tree is slow, so the gate covers the
-# concurrent packages plus the root package (streaming e2e identity)
-# and the FASTQ parser (fuzz seed corpus).
+# concurrent packages plus the root package (streaming e2e identity),
+# the PHMM kernels (batched-vs-scalar bit-exactness property tests) and
+# the FASTQ parser (fuzz seed corpus).
 race:
-	$(GO) test -race . ./internal/core/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/obs/... ./internal/fastq/...
+	$(GO) test -race . ./internal/core/... ./internal/phmm/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/obs/... ./internal/fastq/...
 
 vet:
 	$(GO) vet ./...
@@ -24,9 +25,11 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/phmm/
 	$(GO) test -bench 'BenchmarkMapRead' -benchmem -benchtime 2000x -run '^$$' ./internal/core/
 
-# Machine-readable kernel trajectory (writes BENCH_phmm.json).
+# Machine-readable kernel trajectory: scalar and batched kernel rows
+# (batched verified bit-exact against scalar before timing) plus
+# end-to-end engine reads/sec (writes BENCH_phmm.json).
 bench-phmm:
-	$(GO) run ./cmd/snpbench -exp phmm
+	$(GO) run ./cmd/snpbench -exp phmm -length 120000 -coverage 4
 
 # Streaming pipeline vs materialized slice on the same FASTQ (writes
 # BENCH_stream.json: reads/sec, peak heap, peak resident reads).

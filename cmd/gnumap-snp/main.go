@@ -66,6 +66,7 @@ func run() error {
 		batch      = flag.Int("batch", 0, "reads per streaming batch (0 = default 64)")
 		queue      = flag.Int("queue", 0, "streaming work-queue bound, in batches (0 = default 4)")
 		band       = flag.Int("band", 0, "PHMM band width in DP cells around the seed diagonal (0 = auto 2*pad+2, negative = exact full kernel)")
+		phmmBatch  = flag.Int("phmm-batch", gnumap.DefaultPhmmBatch, "batched PHMM kernel width: candidate windows aligned per wavefront sweep (0 = off, scalar kernel; calls are identical either way)")
 		fit        = flag.Bool("fit", false, "fit PHMM parameters to the data (Baum-Welch) before mapping")
 		samPath    = flag.String("sam", "", "also write best alignments as SAM to this file (single-process mode only)")
 		pileupOut  = flag.String("pileup", "", "also write the probability pileup as TSV to this file (single-process mode only)")
@@ -141,6 +142,13 @@ func run() error {
 	opts := gnumap.Options{Memory: mem}
 	opts.Engine.Workers = *workers
 	opts.Engine.Band = *band
+	// Config semantics: 0 means "default width", so the flag's 0=off
+	// convention maps to the explicit disable value.
+	if *phmmBatch <= 0 {
+		opts.Engine.PhmmBatch = -1
+	} else {
+		opts.Engine.PhmmBatch = *phmmBatch
+	}
 	opts.Engine.Batch = *batch
 	opts.Engine.Queue = *queue
 	accum, err := gnumap.ParseAccumStrategy(*accumMode)

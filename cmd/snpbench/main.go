@@ -48,6 +48,7 @@ func main() {
 		maxWorkers = flag.Int("maxworkers", runtime.GOMAXPROCS(0), "maximum worker count (fig5)")
 		tcp        = flag.Bool("tcp", false, "use loopback TCP between simulated nodes (fig4)")
 		metricsOut = flag.String("metrics-out", "metrics.json", "output path for the metrics experiment's JSON report")
+		phmmBatch  = flag.Int("phmm-batch", core.DefaultPhmmBatch, "batched PHMM kernel width for the phmm experiment's engine rows (0 = off, scalar kernel only)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -92,7 +93,7 @@ func main() {
 		wants[strings.TrimSpace(e)] = true
 	}
 	all := wants["all"]
-	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["stream"] || wants["call"] || wants["metrics"]
+	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["phmm"] || wants["stream"] || wants["call"] || wants["metrics"]
 
 	var ds *experiments.Dataset
 	if needData {
@@ -144,7 +145,7 @@ func main() {
 		ran = true
 	}
 	if all || wants["phmm"] {
-		runPhmmBench(*benchOut)
+		runPhmmBench(ds, *workers, *phmmBatch, *benchOut)
 		ran = true
 	}
 	if all || wants["stream"] {
@@ -275,31 +276,57 @@ func runSweep(ds *experiments.Dataset, workers int) {
 	fmt.Println()
 }
 
-// runPhmmBench measures the PHMM kernel variants and writes the
-// machine-readable BENCH_phmm.json used to track the kernel across PRs.
-func runPhmmBench(outPath string) {
-	fmt.Println("PHMM KERNEL — banded vs full, 62-bp read / 78-bp window")
+// runPhmmBench measures the PHMM kernel variants — scalar and batched,
+// the batched rows verified bit-exact against scalar before timing —
+// plus end-to-end engine reads/sec, and writes the machine-readable
+// BENCH_phmm.json used to track the kernel across PRs.
+func runPhmmBench(ds *experiments.Dataset, workers, phmmBatch int, outPath string) {
+	fmt.Println("PHMM KERNEL — scalar vs batched wavefront, 62-bp read / 78-bp window")
 	rows, err := experiments.PhmmKernelBench()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-16s %6s %8s %12s %10s %10s\n", "variant", "band", "cells", "ns/op", "ns/cell", "allocs/op")
+	fmt.Printf("%-20s %6s %6s %8s %12s %10s %10s %7s\n",
+		"variant", "band", "batch", "cells", "ns/op", "ns/cell", "Mcells/s", "exact")
 	for _, r := range rows {
-		fmt.Printf("%-16s %6d %8d %12.0f %10.2f %10d\n",
-			r.Name, r.Band, r.Cells, r.NsPerOp, r.NsPerCell, r.AllocsPerOp)
+		exact := "-"
+		if r.Exact {
+			exact = "yes"
+		}
+		fmt.Printf("%-20s %6d %6d %8d %12.0f %10.2f %10.1f %7s\n",
+			r.Name, r.Band, r.Batch, r.Cells, r.NsPerOp, r.NsPerCell, r.MCellsPerSec, exact)
 	}
+
+	var widths []int
+	if phmmBatch >= 2 {
+		widths = []int{phmmBatch}
+	}
+	fmt.Printf("\nPHMM ENGINE — end-to-end mapping, %d reads, workers=%d\n", len(ds.Reads), workers)
+	engineRows, err := experiments.PhmmEngineBench(ds, workers, widths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %8s %8s %10s %12s\n", "config", "mapped", "locs", "wall", "reads/sec")
+	for _, r := range engineRows {
+		wall := time.Duration(r.WallNs)
+		fmt.Printf("%-16s %8d %8d %10s %12.0f\n",
+			r.Name, r.Mapped, r.Locations, wall.Round(msRound(wall)), r.ReadsPerSec)
+	}
+
 	report := struct {
-		Generated string                     `json:"generated"`
-		GoOS      string                     `json:"goos"`
-		GoArch    string                     `json:"goarch"`
-		Input     string                     `json:"input"`
-		Rows      []experiments.PhmmBenchRow `json:"rows"`
+		Generated  string                           `json:"generated"`
+		GoOS       string                           `json:"goos"`
+		GoArch     string                           `json:"goarch"`
+		Input      string                           `json:"input"`
+		Rows       []experiments.PhmmBenchRow       `json:"rows"`
+		EngineRows []experiments.PhmmEngineBenchRow `json:"engine_rows"`
 	}{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoOS:      runtime.GOOS,
-		GoArch:    runtime.GOARCH,
-		Input:     "62bp read vs 78bp window, diag 8",
-		Rows:      rows,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Input:      fmt.Sprintf("62bp read vs 78bp window, diag 8; engine: %d reads, workers=%d", len(ds.Reads), workers),
+		Rows:       rows,
+		EngineRows: engineRows,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -106,6 +106,11 @@ func ParseAccumStrategy(s string) (AccumStrategy, error) {
 	return core.ParseAccumStrategy(s)
 }
 
+// DefaultPhmmBatch is the default lane width of the batched wavefront
+// Pair-HMM kernel. Set via EngineConfig.PhmmBatch (0 selects this
+// default; 1 or negative forces the scalar kernel).
+const DefaultPhmmBatch = core.DefaultPhmmBatch
+
 // Ploidy selects the LRT hypothesis family.
 type Ploidy = lrt.Ploidy
 

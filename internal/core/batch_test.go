@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"gnumap/internal/genome"
+	"gnumap/internal/obs"
+)
+
+// runMapping maps the pipeline's reads with the given batch width on a
+// single worker and returns the accumulator, stats, and the engine's
+// phmm.cells counter.
+func runMapping(t *testing.T, p *pipeline, phmmBatch int) (genome.Accumulator, Stats, int64) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	eng, err := NewEngine(p.ref, Config{
+		Workers:   1,
+		PhmmBatch: phmmBatch,
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := genome.New(genome.Norm, p.ref.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.MapReads(p.reads, acc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc, st, reg.Counter("phmm.cells").Value()
+}
+
+// TestMapReadsBatchedMatchesScalar is the engine-level identity gate of
+// the batched kernel: with a single worker (deterministic accumulation
+// order), mapping with the batched path must produce bit-identical
+// accumulator state, identical stats, and an identical phmm.cells
+// metric to the scalar path. Odd widths exercise the scalar-leftover
+// fallback inside flushPending.
+func TestMapReadsBatchedMatchesScalar(t *testing.T) {
+	p := makePipeline(t, 30000, 4, 6, 19)
+	accS, stS, cellsS := runMapping(t, p, -1) // scalar only
+	for _, width := range []int{8, 3} {
+		accB, stB, cellsB := runMapping(t, p, width)
+		if stB.Mapped != stS.Mapped || stB.Unmapped != stS.Unmapped || stB.Locations != stS.Locations {
+			t.Fatalf("width %d: stats %+v != scalar %+v", width, stB, stS)
+		}
+		if cellsB != cellsS {
+			t.Fatalf("width %d: phmm.cells %d != scalar %d", width, cellsB, cellsS)
+		}
+		for pos := 0; pos < p.ref.Len(); pos++ {
+			vS, vB := accS.Vector(pos), accB.Vector(pos)
+			if vS != vB {
+				t.Fatalf("width %d: accumulator diverges at %d: batched %v, scalar %v",
+					width, pos, vB, vS)
+			}
+		}
+	}
+}
+
+// TestPhmmBatchConfig checks the knob's resolution rules: zero is the
+// default width, negatives and one disable batching, ViterbiOnly is
+// always scalar.
+func TestPhmmBatchConfig(t *testing.T) {
+	p := makePipeline(t, 5000, 1, 1, 23)
+	for _, tc := range []struct {
+		cfg       Config
+		wantBatch bool
+		wantWidth int
+	}{
+		{Config{}, true, DefaultPhmmBatch},
+		{Config{PhmmBatch: 4}, true, 4},
+		{Config{PhmmBatch: 1}, false, 0},
+		{Config{PhmmBatch: -1}, false, 0},
+		{Config{ViterbiOnly: true}, false, 0},
+	} {
+		eng, err := NewEngine(p.ref, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eng.newMapper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.batch != nil; got != tc.wantBatch {
+			t.Errorf("cfg %+v: batch enabled = %v, want %v", tc.cfg, got, tc.wantBatch)
+		}
+		if tc.wantBatch && m.batchWidth != tc.wantWidth {
+			t.Errorf("cfg %+v: width %d, want %d", tc.cfg, m.batchWidth, tc.wantWidth)
+		}
+	}
+}

@@ -89,6 +89,14 @@ type Config struct {
 	// alignments score far lower, true mappings far higher). It is
 	// the engine's "does this read map here at all" filter.
 	MinLocLogLik float64
+	// PhmmBatch is the lane width of the batched wavefront Pair-HMM
+	// kernel: a read's same-shape candidate windows are swept together,
+	// up to this many per phmm.AlignBatch call, with scalar AlignBanded
+	// picking up odd-shaped and leftover candidates. Batched lanes are
+	// bit-identical to scalar calls, so this is purely a throughput
+	// knob. 0 selects the default (DefaultPhmmBatch); 1 or negative
+	// disables batching. ViterbiOnly mode always uses the scalar path.
+	PhmmBatch int
 	// ViterbiOnly switches accumulation to the single best path per
 	// location (ablation of the marginal alignment).
 	ViterbiOnly bool
@@ -119,6 +127,10 @@ type Config struct {
 	// pays only a pointer check.
 	Metrics *obs.Registry
 }
+
+// DefaultPhmmBatch is the default lane width of the batched wavefront
+// Pair-HMM kernel — the width the amd64 SIMD sweep is specialized for.
+const DefaultPhmmBatch = 8
 
 func (c Config) withDefaults() Config {
 	zero := phmm.Params{}
@@ -157,6 +169,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinLocLogLik == 0 {
 		c.MinLocLogLik = -2.0
+	}
+	if c.PhmmBatch == 0 {
+		c.PhmmBatch = DefaultPhmmBatch
 	}
 	if c.AccumMemBudget == 0 {
 		c.AccumMemBudget = DefaultAccumMemBudget
@@ -353,14 +368,36 @@ type scoredCand struct {
 	cand kmer.Candidate
 }
 
+// pendingAlign is one candidate window waiting for the batched kernel:
+// the alignment inputs plus, after the flush, the outcome. Keeping the
+// outcome on the pending entry lets flushPending sweep batches in
+// whatever grouping is efficient and still emit accepted locations in
+// the original candidate order — so softmax weighting and accumulation
+// see the exact float sequence the scalar path produces.
+type pendingAlign struct {
+	p           *pwm.Matrix
+	window      dna.Seq
+	windowStart int
+	readLen     int
+	diag        int
+	minus       bool
+	done        bool
+	accepted    bool
+	loc         location
+}
+
 // mapper holds per-worker scratch state. All of it is reused across
 // mapRead calls so the steady-state mapping hot path performs no heap
 // allocations.
 type mapper struct {
 	e       *Engine
 	aligner *phmm.Aligner
-	// met aliases e.met; lastCells tracks the aligner's cumulative DP
-	// cell count so each read publishes only its delta.
+	// batch is the wavefront kernel, nil when batching is disabled
+	// (PhmmBatch < 2 or ViterbiOnly); batchWidth is its lane cap.
+	batch      *phmm.BatchAligner
+	batchWidth int
+	// met aliases e.met; lastCells tracks the cumulative DP cell count
+	// across both kernels so each read publishes only its delta.
 	met       *engineMetrics
 	lastCells int64
 	locs      []location
@@ -370,6 +407,12 @@ type mapper struct {
 	candBuf        kmer.CandidateBuf
 	scored         []scoredCand
 	wbuf           []float64
+	// Batched-alignment scratch: the read's pending candidate windows,
+	// the (shape, diag) group index, and the lane input views.
+	pending []pendingAlign
+	bidx    []int
+	bxs     []*pwm.Matrix
+	bys     []dna.Seq
 	// arena backs the contribs slices of the current read's locations;
 	// arenaOff is the bump-pointer, reset at the top of every mapRead.
 	arena    []genome.Vec
@@ -403,7 +446,16 @@ func (e *Engine) newMapper() (*mapper, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &mapper{e: e, aligner: al, met: e.met}, nil
+	m := &mapper{e: e, aligner: al, met: e.met}
+	if e.cfg.PhmmBatch >= 2 && !e.cfg.ViterbiOnly {
+		ba, err := phmm.NewBatchAligner(e.cfg.PHMM, e.cfg.AlignMode)
+		if err != nil {
+			return nil, err
+		}
+		m.batch = ba
+		m.batchWidth = e.cfg.PhmmBatch
+	}
+	return m, nil
 }
 
 // mapRead computes the accepted locations of one read with raw
@@ -498,18 +550,171 @@ func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 		// (= Pad unless the window was clipped at a genome edge) — the
 		// diagonal the banded kernel anchors to.
 		diag := globalStart - clippedStart
+		if m.batch != nil {
+			// Defer to the batched wavefront kernel: same-shape windows
+			// are swept together after the candidate loop.
+			m.pending = append(m.pending, pendingAlign{
+				p: strands[cs.sc], window: window, windowStart: clippedStart,
+				readLen: len(rd.Seq), diag: diag, minus: minus,
+			})
+			continue
+		}
 		if err := m.alignAt(strands[cs.sc], window, clippedStart, len(rd.Seq), diag, minus); err != nil {
+			return nil, err
+		}
+	}
+	if m.batch != nil {
+		if err := m.flushPending(); err != nil {
 			return nil, err
 		}
 	}
 	if m.met != nil {
 		m.met.alignSec.ObserveDuration(time.Since(tSeed))
-		if c := m.aligner.CellsComputed(); c != m.lastCells {
+		c := m.aligner.CellsComputed()
+		if m.batch != nil {
+			c += m.batch.CellsComputed()
+		}
+		if c != m.lastCells {
 			m.met.cells.Add(c - m.lastCells)
 			m.lastCells = c
 		}
 	}
 	return m.locs, nil
+}
+
+// flushPending sweeps the read's pending candidate windows through the
+// batched kernel: entries are grouped by (window length, diag) — read
+// length and band are constant within a read — and each group is swept
+// in chunks of at most batchWidth lanes. Chunks of one fall back to the
+// scalar kernel (identical results, no batch overhead). Accepted
+// locations are then emitted in the original candidate order, keeping
+// the downstream softmax and accumulation float sequences bit-identical
+// to the unbatched path.
+func (m *mapper) flushPending() error {
+	pend := m.pending
+	for start := range pend {
+		if pend[start].done {
+			continue
+		}
+		wlen, diag := len(pend[start].window), pend[start].diag
+		idxs := m.bidx[:0]
+		for k := start; k < len(pend); k++ {
+			if !pend[k].done && len(pend[k].window) == wlen && pend[k].diag == diag {
+				idxs = append(idxs, k)
+			}
+		}
+		m.bidx = idxs
+		for off := 0; off < len(idxs); off += m.batchWidth {
+			end := off + m.batchWidth
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			chunk := idxs[off:end]
+			if len(chunk) == 1 {
+				if err := m.alignPending(&pend[chunk[0]]); err != nil {
+					return err
+				}
+				continue
+			}
+			bxs, bys := m.bxs[:0], m.bys[:0]
+			for _, k := range chunk {
+				bxs = append(bxs, pend[k].p)
+				bys = append(bys, pend[k].window)
+				m.met.alignmentsInc()
+			}
+			m.bxs, m.bys = bxs, bys
+			results, err := m.batch.AlignBatch(bxs, bys, diag, m.e.band)
+			if err != nil {
+				return err
+			}
+			// Results are views into the batch aligner's buffers,
+			// invalidated by the next AlignBatch call — finish each lane
+			// (filter + contributions into the arena) before moving on.
+			for l, k := range chunk {
+				pa := &pend[k]
+				pa.done = true
+				res := &results[l]
+				if res.Err != nil {
+					continue
+				}
+				loc, ok, err := m.finishAlignment(res.LogLik, res, pa)
+				if err != nil {
+					return err
+				}
+				pa.loc, pa.accepted = loc, ok
+			}
+		}
+	}
+	for i := range pend {
+		if pend[i].accepted {
+			m.locs = append(m.locs, pend[i].loc)
+		}
+	}
+	m.pending = pend[:0]
+	return nil
+}
+
+// alignPending runs one pending candidate through the scalar kernel —
+// the leftover path of flushPending.
+func (m *mapper) alignPending(pa *pendingAlign) error {
+	pa.done = true
+	m.met.alignmentsInc()
+	res, err := m.aligner.AlignBanded(pa.p, pa.window, pa.diag, m.e.band)
+	if err == phmm.ErrNoAlignment {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	loc, ok, err := m.finishAlignment(res.LogLik, res, pa)
+	if err != nil {
+		return err
+	}
+	pa.loc, pa.accepted = loc, ok
+	return nil
+}
+
+// contribSource is the posterior-contribution view shared by the scalar
+// Result and a batched lane.
+type contribSource interface {
+	ContributionsInto(phmm.Attribution, []genome.Vec, []float64) error
+}
+
+// finishAlignment applies the per-location acceptance filters and
+// extracts contributions — the shared tail of the scalar and batched
+// alignment paths.
+func (m *mapper) finishAlignment(logLik float64, src contribSource, pa *pendingAlign) (location, bool, error) {
+	e := m.e
+	if logLik/float64(pa.readLen) < e.cfg.MinLocLogLik {
+		return location{}, false, nil
+	}
+	window := pa.window
+	contribs := m.grabContribs(len(window))
+	if cap(m.totals) < len(window) {
+		m.totals = make([]float64, len(window))
+	}
+	totals := m.totals[:len(window)]
+	if err := src.ContributionsInto(e.cfg.Attribution, contribs, totals); err != nil {
+		return location{}, false, err
+	}
+	any := false
+	for j := range contribs {
+		if totals[j] > 0.5 {
+			// Positions materially covered by the alignment keep
+			// their normalized channel vector; lightly grazed window
+			// padding (total << 1) is noise and is zeroed.
+			any = true
+		} else {
+			contribs[j] = genome.Vec{}
+		}
+	}
+	if !any {
+		return location{}, false, nil
+	}
+	return location{
+		windowStart: pa.windowStart, logLik: logLik, contribs: contribs,
+		minus: pa.minus, windowLen: len(window),
+	}, true, nil
 }
 
 // alignAt aligns a PWM to a window (banded around diag when the engine
@@ -527,35 +732,17 @@ func (m *mapper) alignAt(p *pwm.Matrix, window dna.Seq, windowStart, readLen, di
 	if err != nil {
 		return err
 	}
-	if res.LogLik/float64(readLen) < e.cfg.MinLocLogLik {
-		return nil
+	pa := pendingAlign{
+		p: p, window: window, windowStart: windowStart,
+		readLen: readLen, diag: diag, minus: minus,
 	}
-	contribs := m.grabContribs(len(window))
-	if cap(m.totals) < len(window) {
-		m.totals = make([]float64, len(window))
-	}
-	totals := m.totals[:len(window)]
-	if err := res.ContributionsInto(e.cfg.Attribution, contribs, totals); err != nil {
+	loc, ok, err := m.finishAlignment(res.LogLik, res, &pa)
+	if err != nil {
 		return err
 	}
-	any := false
-	for j := range contribs {
-		if totals[j] > 0.5 {
-			// Positions materially covered by the alignment keep
-			// their normalized channel vector; lightly grazed window
-			// padding (total << 1) is noise and is zeroed.
-			any = true
-		} else {
-			contribs[j] = genome.Vec{}
-		}
+	if ok {
+		m.locs = append(m.locs, loc)
 	}
-	if !any {
-		return nil
-	}
-	m.locs = append(m.locs, location{
-		windowStart: windowStart, logLik: res.LogLik, contribs: contribs,
-		minus: minus, windowLen: len(window),
-	})
 	return nil
 }
 

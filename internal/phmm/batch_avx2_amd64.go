@@ -1,0 +1,95 @@
+//go:build amd64
+
+package phmm
+
+import "unsafe"
+
+// The AVX2 row kernels below vectorize the batched sweeps across the 8
+// lanes of a simdLanes-wide batch: one iteration of the assembly loop
+// advances all 8 lanes by one cell using 4-wide VMULPD/VADDPD pairs.
+// Packed IEEE-754 multiply and add round identically to their scalar
+// counterparts and Go never contracts a*b+c into an FMA, so as long as
+// the expression *tree* matches the generic Go loop (it does, operation
+// for operation — see batch_amd64.s), the vector path is bit-identical
+// to both the generic path and the scalar kernel in align.go. The
+// bit-exactness property tests exercise all three against each other.
+
+// simdLanes is the lane count the assembly kernels are specialized for.
+const simdLanes = 8
+
+// batchAVX2 gates the assembly kernels on CPU and OS support.
+var batchAVX2 = detectAVX2()
+
+// fwdRow8 carries one forward row sweep's operands to assembly. Field
+// offsets are fixed by the 8-byte layout and asserted below; the .s
+// file indexes them by constant.
+type fwdRow8 struct {
+	outM, outX, outY    *float64 // +0, +8, +16: &plane[(cur+lo)*8]
+	ps                  *float64 // +24: &pstar[(cur+lo)*8]
+	prevM, prevX, prevY *float64 // +32, +40, +48: &plane[(prev+lo)*8]
+	rs                  *float64 // +56: &rowSum[0] (8 lanes, read-modify-write)
+	steps               int64    // +64: hi - lo + 1
+	tmm, tgm, tmg, tgg  float64  // +72, +80, +88, +96
+	q, rowEntry         float64  // +104, +112
+}
+
+// scaleRow8 rescales one row's three planes by the per-lane inverse.
+type scaleRow8 struct {
+	pM, pX, pY *float64 // +0, +8, +16: &plane[(cur+lo)*8]
+	inv        *float64 // +24: &inv[0] (8 lanes)
+	steps      int64    // +32: hi - lo + 1
+}
+
+// bwdRow8 carries one backward row sweep (descending j) to assembly.
+type bwdRow8 struct {
+	outM, outX, outY     *float64 // +0, +8, +16: &plane[(cur+start)*8]
+	nextM, nextX         *float64 // +24, +32: &bM/&bX[(next+start)*8]
+	ps                   *float64 // +40: &pstar[(next+start)*8]
+	iv                   *float64 // +48: &inv[0] (8 lanes)
+	steps                int64    // +56: start - lo + 1
+	tmm, tgm, tmgq, tggq float64  // +64, +72, +80, +88
+}
+
+// Compile-time layout assertions: a non-zero difference makes the array
+// length negative and the package fails to build.
+var (
+	_ [unsafe.Offsetof(fwdRow8{}.rs) - 56]struct{}
+	_ [unsafe.Offsetof(fwdRow8{}.steps) - 64]struct{}
+	_ [unsafe.Offsetof(fwdRow8{}.rowEntry) - 112]struct{}
+	_ [unsafe.Offsetof(scaleRow8{}.steps) - 32]struct{}
+	_ [unsafe.Offsetof(bwdRow8{}.iv) - 48]struct{}
+	_ [unsafe.Offsetof(bwdRow8{}.tggq) - 88]struct{}
+)
+
+//go:noescape
+func forwardRowAVX2(a *fwdRow8)
+
+//go:noescape
+func scaleRowAVX2(a *scaleRow8)
+
+//go:noescape
+func backwardRowAVX2(a *bwdRow8)
+
+// cpuidex and xgetbv0 are implemented in batch_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX2 reports whether the CPU supports AVX2 and the OS preserves
+// YMM state across context switches.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0
+}

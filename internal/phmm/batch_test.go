@@ -1,0 +1,326 @@
+package phmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/pwm"
+)
+
+func mustBatchAligner(t *testing.T, mode Mode) *BatchAligner {
+	t.Helper()
+	b, err := NewBatchAligner(DefaultParams(), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// batchContribsOf runs BatchResult.ContributionsInto into fresh slices.
+func batchContribsOf(t *testing.T, res *BatchResult) ([][dna.NumChannels]float64, []float64) {
+	t.Helper()
+	dst := make([][dna.NumChannels]float64, res.M)
+	totals := make([]float64, res.M)
+	if err := res.ContributionsInto(ByCall, dst, totals); err != nil {
+		t.Fatal(err)
+	}
+	return dst, totals
+}
+
+// requireLaneExact compares one batch lane against the scalar kernel on
+// the same pair: LogLik, contributions, and sampled posteriors must be
+// bit-identical (==, not approximately equal).
+func requireLaneExact(t *testing.T, label string, scalar *Result, lane *BatchResult) {
+	t.Helper()
+	if scalar.LogLik != lane.LogLik {
+		t.Fatalf("%s: LogLik scalar %v != batch %v", label, scalar.LogLik, lane.LogLik)
+	}
+	dstS, totS := contribsOf(t, scalar)
+	dstB, totB := batchContribsOf(t, lane)
+	for j := range dstS {
+		if totS[j] != totB[j] {
+			t.Fatalf("%s col %d: total scalar %v != batch %v", label, j, totS[j], totB[j])
+		}
+		if dstS[j] != dstB[j] {
+			t.Fatalf("%s col %d: contribs scalar %v != batch %v", label, j, dstS[j], dstB[j])
+		}
+	}
+	for i := 1; i <= scalar.N; i++ {
+		for j := 1; j <= scalar.M; j++ {
+			if pm, bm := scalar.PostMatch(i, j), lane.PostMatch(i, j); pm != bm {
+				t.Fatalf("%s (%d,%d): PostMatch scalar %v != batch %v", label, i, j, pm, bm)
+			}
+			if px, bx := scalar.PostGapX(i, j), lane.PostGapX(i, j); px != bx {
+				t.Fatalf("%s (%d,%d): PostGapX scalar %v != batch %v", label, i, j, px, bx)
+			}
+			if py, by := scalar.PostGapY(i, j), lane.PostGapY(i, j); py != by {
+				t.Fatalf("%s (%d,%d): PostGapY scalar %v != batch %v", label, i, j, py, by)
+			}
+		}
+	}
+}
+
+// TestAlignBatchMatchesScalarRandom is the tentpole's bit-exactness
+// property test: randomized (read length, window length, diag, band)
+// bins in both modes, each batch compared lane-by-lane against scalar
+// AlignBanded. Bands include narrow, wide, and full-width (== unbanded)
+// geometries, and lane counts vary from 1 to 13.
+func TestAlignBatchMatchesScalarRandom(t *testing.T) {
+	for _, mode := range []Mode{Global, SemiGlobal} {
+		rng := rand.New(rand.NewSource(int64(42 + mode)))
+		scalar := mustAligner(t, mode)
+		batch := mustBatchAligner(t, mode)
+		for trial := 0; trial < 40; trial++ {
+			m := 12 + rng.Intn(80)
+			n := m // Global: exact-size windows
+			diag := 0
+			if mode == SemiGlobal {
+				n = 4 + rng.Intn(m-3)
+				diag = rng.Intn(m - n + 1)
+			}
+			band := 0 // full kernel
+			switch rng.Intn(3) {
+			case 0:
+				band = 6 + 2*rng.Intn(6) // narrow
+			case 1:
+				band = fullWidthBand(n, m) // full-width band
+			}
+			L := 1 + rng.Intn(13)
+			xs := make([]*pwm.Matrix, L)
+			ys := make([]dna.Seq, L)
+			for l := 0; l < L; l++ {
+				ys[l] = randomSeq(rng, m)
+				xs[l] = randomPWM(rng, n)
+			}
+			results, err := batch.AlignBatch(xs, ys, diag, band)
+			if err != nil {
+				t.Fatalf("mode %v trial %d: AlignBatch: %v", mode, trial, err)
+			}
+			if len(results) != L {
+				t.Fatalf("mode %v trial %d: %d results, want %d", mode, trial, len(results), L)
+			}
+			for l := 0; l < L; l++ {
+				resS, errS := scalar.AlignBanded(xs[l], ys[l], diag, band)
+				lane := &results[l]
+				if (errS == nil) != (lane.Err == nil) {
+					t.Fatalf("mode %v trial %d lane %d: scalar err %v, batch err %v",
+						mode, trial, l, errS, lane.Err)
+				}
+				if errS != nil {
+					if lane.Err != ErrNoAlignment {
+						t.Fatalf("mode %v trial %d lane %d: batch err %v, want ErrNoAlignment",
+							mode, trial, l, lane.Err)
+					}
+					continue
+				}
+				requireLaneExact(t, "random", resS, lane)
+			}
+		}
+	}
+}
+
+// TestAlignBatchMixedDeadLanes builds a Global-mode batch where some
+// lanes have zero alignment probability (one-hot reads against
+// mismatching windows under a zero-tolerance match matrix): dead lanes
+// must report ErrNoAlignment exactly when scalar does, and live lanes
+// must stay bit-identical to scalar — lane death may not leak.
+func TestAlignBatchMixedDeadLanes(t *testing.T) {
+	p := DefaultParams()
+	for y := 0; y < dna.NumBases; y++ {
+		for k := 0; k < dna.NumBases; k++ {
+			if y == k {
+				p.Match[y][k] = 1
+			} else {
+				p.Match[y][k] = 0
+			}
+		}
+	}
+	scalar, err := NewAligner(p, Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := NewBatchAligner(p, Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 20
+	window := randomSeq(rng, n)
+	mismatched := window.Clone()
+	mismatched[0] = dna.Code((int(mismatched[0]) + 1) % 4) // kills the required first match
+	const L = 6
+	xs := make([]*pwm.Matrix, L)
+	ys := make([]dna.Seq, L)
+	for l := 0; l < L; l++ {
+		x, err := pwm.FromSeqUniformError(window, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs[l] = x
+		if l%2 == 1 {
+			ys[l] = mismatched
+		} else {
+			ys[l] = window
+		}
+	}
+	results, err := batch.AlignBatch(xs, ys, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSeen, liveSeen := 0, 0
+	for l := 0; l < L; l++ {
+		resS, errS := scalar.AlignBanded(xs[l], ys[l], 0, 0)
+		if errS != nil {
+			if errS != ErrNoAlignment {
+				t.Fatalf("lane %d: unexpected scalar error %v", l, errS)
+			}
+			if results[l].Err != ErrNoAlignment {
+				t.Fatalf("lane %d: batch err %v, want ErrNoAlignment", l, results[l].Err)
+			}
+			deadSeen++
+			continue
+		}
+		if results[l].Err != nil {
+			t.Fatalf("lane %d: batch err %v, scalar succeeded", l, results[l].Err)
+		}
+		requireLaneExact(t, "mixed", resS, &results[l])
+		liveSeen++
+	}
+	if deadSeen == 0 || liveSeen == 0 {
+		t.Fatalf("degenerate test setup: %d dead, %d live lanes", deadSeen, liveSeen)
+	}
+}
+
+// TestAlignBatchBandOffRectangle: a band that slides off the DP
+// rectangle must kill the whole batch, mirroring scalar ErrNoAlignment.
+func TestAlignBatchBandOffRectangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	batch := mustBatchAligner(t, SemiGlobal)
+	xs := []*pwm.Matrix{randomPWM(rng, 30), randomPWM(rng, 30)}
+	ys := []dna.Seq{randomSeq(rng, 40), randomSeq(rng, 40)}
+	results, err := batch.AlignBatch(xs, ys, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range results {
+		if results[l].Err != ErrNoAlignment {
+			t.Fatalf("lane %d: err %v, want ErrNoAlignment", l, results[l].Err)
+		}
+	}
+}
+
+// TestAlignBatchShapeMismatch: mixed shapes are a call-level error (the
+// engine's binning guarantees uniform shapes; a violation is a bug).
+func TestAlignBatchShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	batch := mustBatchAligner(t, SemiGlobal)
+	if _, err := batch.AlignBatch(
+		[]*pwm.Matrix{randomPWM(rng, 30), randomPWM(rng, 31)},
+		[]dna.Seq{randomSeq(rng, 40), randomSeq(rng, 40)}, 5, 18); err == nil {
+		t.Fatal("mismatched read lengths accepted")
+	}
+	if _, err := batch.AlignBatch(
+		[]*pwm.Matrix{randomPWM(rng, 30), randomPWM(rng, 30)},
+		[]dna.Seq{randomSeq(rng, 40), randomSeq(rng, 41)}, 5, 18); err == nil {
+		t.Fatal("mismatched window lengths accepted")
+	}
+	if _, err := batch.AlignBatch(nil, nil, 0, 0); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestAlignBatchCellsAccounting: a batch must add exactly what the same
+// alignments would have added to a scalar Aligner — lanes × band cells,
+// dead lanes included (geometry-based, as in the scalar kernel).
+func TestAlignBatchCellsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	scalar := mustAligner(t, SemiGlobal)
+	batch := mustBatchAligner(t, SemiGlobal)
+	const n, m, diag, band, L = 30, 46, 8, 18, 5
+	xs := make([]*pwm.Matrix, L)
+	ys := make([]dna.Seq, L)
+	for l := 0; l < L; l++ {
+		xs[l] = randomPWM(rng, n)
+		ys[l] = randomSeq(rng, m)
+	}
+	if _, err := batch.AlignBatch(xs, ys, diag, band); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < L; l++ {
+		if _, err := scalar.AlignBanded(xs[l], ys[l], diag, band); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batch.CellsComputed() != scalar.CellsComputed() {
+		t.Fatalf("batch cells %d != scalar cells %d for the same workload",
+			batch.CellsComputed(), scalar.CellsComputed())
+	}
+	if want := int64(L) * int64(BandCells(n, m, diag, band)); batch.CellsComputed() != want {
+		t.Fatalf("batch cells %d, want %d", batch.CellsComputed(), want)
+	}
+}
+
+// TestAlignBatchReuseAcrossShapes: one BatchAligner must survive
+// alternating batch shapes and lane counts (buffer reuse never leaks
+// stale state — the same discipline the scalar kernel documents).
+func TestAlignBatchReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	scalar := mustAligner(t, SemiGlobal)
+	batch := mustBatchAligner(t, SemiGlobal)
+	shapes := []struct{ n, m, diag, band, L int }{
+		{62, 78, 8, 18, 8},
+		{20, 24, 2, 6, 3},
+		{62, 78, 8, 18, 8},
+		{62, 78, 8, 0, 2}, // full kernel after banded
+		{62, 78, 8, 18, 13},
+		{8, 90, 40, 10, 1}, // single-lane batch
+	}
+	for si, sh := range shapes {
+		xs := make([]*pwm.Matrix, sh.L)
+		ys := make([]dna.Seq, sh.L)
+		for l := 0; l < sh.L; l++ {
+			xs[l] = randomPWM(rng, sh.n)
+			ys[l] = randomSeq(rng, sh.m)
+		}
+		results, err := batch.AlignBatch(xs, ys, sh.diag, sh.band)
+		if err != nil {
+			t.Fatalf("shape %d: %v", si, err)
+		}
+		for l := 0; l < sh.L; l++ {
+			resS, errS := scalar.AlignBanded(xs[l], ys[l], sh.diag, sh.band)
+			if (errS == nil) != (results[l].Err == nil) {
+				t.Fatalf("shape %d lane %d: scalar err %v, batch err %v", si, l, errS, results[l].Err)
+			}
+			if errS != nil {
+				continue
+			}
+			requireLaneExact(t, "reuse", resS, &results[l])
+		}
+	}
+}
+
+// TestAlignBatchAllocFree: a warm BatchAligner performs no heap
+// allocations per sweep — the mapper-owned scratch contract.
+func TestAlignBatchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	batch := mustBatchAligner(t, SemiGlobal)
+	const L = 8
+	xs := make([]*pwm.Matrix, L)
+	ys := make([]dna.Seq, L)
+	for l := 0; l < L; l++ {
+		xs[l] = randomPWM(rng, 62)
+		ys[l] = randomSeq(rng, 78)
+	}
+	if _, err := batch.AlignBatch(xs, ys, 8, 18); err != nil {
+		t.Fatal(err) // warm-up
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := batch.AlignBatch(xs, ys, 8, 18); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AlignBatch allocates %.1f objects per sweep, want 0", allocs)
+	}
+}

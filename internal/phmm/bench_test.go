@@ -1,6 +1,7 @@
 package phmm
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -148,4 +149,64 @@ func reportPerCell(b *testing.B, n, m, diag, band int) {
 		return
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cells), "ns/cell")
+}
+
+// batchBenchInputs replicates benchInputs across L lanes with
+// independent reads (same shape, different content, as binning
+// produces in the engine).
+func batchBenchInputs(b *testing.B, L int) ([]*pwm.Matrix, []dna.Seq) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]*pwm.Matrix, L)
+	ys := make([]dna.Seq, L)
+	for l := 0; l < L; l++ {
+		window := make(dna.Seq, 78)
+		for i := range window {
+			window[i] = dna.Code(rng.Intn(4))
+		}
+		read := window[8:70].Clone()
+		read[30] = dna.Code((int(read[30]) + 1) % 4)
+		p, err := pwm.FromSeqUniformError(read, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs[l] = p
+		ys[l] = window
+	}
+	return xs, ys
+}
+
+func benchmarkAlignBatch(b *testing.B, L, band int) {
+	xs, ys := batchBenchInputs(b, L)
+	ba, err := NewBatchAligner(DefaultParams(), SemiGlobal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ba.AlignBatch(xs, ys, 8, band); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ba.AlignBatch(xs, ys, 8, band); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cells := BandCells(62, 78, 8, band) * L
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cells), "ns/cell")
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+// BenchmarkAlignBatch sweeps lane counts at the engine's default band;
+// the 0-alloc assertion for the warm path lives in
+// TestAlignBatchAllocFree.
+func BenchmarkAlignBatch(b *testing.B) {
+	for _, L := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("lanes=%d/band=%d", L, benchBand), func(b *testing.B) {
+			benchmarkAlignBatch(b, L, benchBand)
+		})
+	}
+	b.Run("lanes=8/band=full", func(b *testing.B) {
+		benchmarkAlignBatch(b, 8, 0)
+	})
 }
