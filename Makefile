@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-phmm bench-stream bench-call fuzz chaos metrics check
+.PHONY: build test race vet bench bench-phmm bench-stream bench-call fuzz chaos chaos-resume metrics check
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # the PHMM kernels (batched-vs-scalar bit-exactness property tests) and
 # the FASTQ parser (fuzz seed corpus).
 race:
-	$(GO) test -race . ./internal/core/... ./internal/phmm/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/obs/... ./internal/fastq/...
+	$(GO) test -race . ./internal/core/... ./internal/phmm/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/obs/... ./internal/fastq/... ./internal/ckpt/...
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,14 @@ fuzz:
 # deterministic (fixed seeds live in the tests) and race-checked.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Crash|Heartbeat|RecvPatient|Degraded|FTMatches|Dial|Frame|Hardening|Timeout' ./internal/cluster/ ./internal/core/
+
+# Kill-and-recover gate: the real gnumap-snp binary (race-built),
+# SIGKILLed at randomized points after checkpoint commits and relaunched
+# with -resume until the VCF matches an uninterrupted run byte-for-byte,
+# in single-process and np=4 read-split cluster modes; plus the SIGTERM
+# graceful-stop path (drain, final checkpoint, exit code 3, resume).
+chaos-resume:
+	$(GO) test -count=1 -timeout 20m -run 'ChaosKillResume|GracefulStopResume' ./cmd/
 
 # Observability smoke: a small 2-node cluster run that writes
 # metrics.json, schema-checks it, and prints the merged summary.

@@ -25,26 +25,53 @@
 // and prints a human summary to stderr; -pprof serves net/http/pprof
 // on the given address for live inspection; -cpuprofile/-memprofile
 // write standard runtime profiles for `go tool pprof`.
+//
+// Crash safety: -checkpoint FILE makes the streaming run write its full
+// state (config fingerprint, source watermark, mapping counters,
+// accumulator) atomically to FILE every -checkpoint-every reads (an
+// integer) or wall time (a duration like 30s). -resume loads FILE if it
+// exists, skips the already-mapped prefix of the FASTQ, and continues —
+// so a supervisor can relaunch the same command line after a crash or a
+// kill and the final VCF matches an uninterrupted run. SIGINT/SIGTERM
+// trigger a graceful stop: drain the pipeline, write a final
+// checkpoint, flush -metrics-out, exit with code 3 (a second signal
+// aborts immediately). Checkpointing needs a replayable stream: it is
+// incompatible with -fit/-sam/-stream=false, and on clusters with
+// -split genome, -op-timeout, and -chaos.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gnumap"
 )
 
+// stopExitCode distinguishes "stopped gracefully, state checkpointed"
+// from success (0) and failure (1): the job is incomplete but cleanly
+// resumable with -resume.
+const stopExitCode = 3
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gnumap-snp: ")
 	if err := run(); err != nil {
+		if errors.Is(err, gnumap.ErrStopped) {
+			log.Print(err)
+			os.Exit(stopExitCode)
+		}
 		log.Fatal(err)
 	}
 }
@@ -76,6 +103,9 @@ func run() error {
 		opTimeout  = flag.Duration("op-timeout", 0, "cluster per-operation deadline; >0 also enables read-split shard reassignment on worker death (0 = block forever)")
 		heartbeat  = flag.Duration("heartbeat", 0, "cluster heartbeat period for failure detection (0 = auto when -op-timeout is set)")
 		chaos      = flag.String("chaos", "", "deterministic fault injection spec, e.g. seed=42,drop=0.02,dup=0.01,crash=2@100")
+		ckptPath   = flag.String("checkpoint", "", "write crash-safe checkpoints to this file (streaming runs only); SIGINT/SIGTERM drain, checkpoint, and exit with code 3")
+		ckptEvery  = flag.String("checkpoint-every", "5000", "checkpoint interval: an integer (reads) or a duration (e.g. 30s)")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint if the file exists (fresh start otherwise)")
 		metricsOut = flag.String("metrics-out", "", "write the merged metrics report as JSON to this file (and a summary to stderr)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -132,6 +162,42 @@ func run() error {
 	// Fitting and SAM output need random access to the whole read set,
 	// so they force the materialized path.
 	streaming := *stream && !*fit && *samPath == ""
+
+	// Checkpoint setup: watermarks name positions in the read stream, so
+	// every mode without a replayable stream is rejected up front.
+	var ckptCfg *gnumap.CheckpointConfig
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *ckptPath != "" {
+		if !streaming {
+			return fmt.Errorf("-checkpoint requires the streaming path: drop -fit/-sam and keep -stream=true")
+		}
+		if *nodes > 1 && (*split != "read" || *opTimeout > 0 || *chaos != "") {
+			return fmt.Errorf("-checkpoint on a cluster supports only -split read without -op-timeout/-chaos")
+		}
+		everyReads, every, err := parseCheckpointEvery(*ckptEvery)
+		if err != nil {
+			return err
+		}
+		var stop atomic.Bool
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			log.Print("signal received: draining and writing a final checkpoint (send again to abort immediately)")
+			stop.Store(true)
+			<-sig
+			os.Exit(130)
+		}()
+		ckptCfg = &gnumap.CheckpointConfig{
+			Path:          *ckptPath,
+			EveryReads:    everyReads,
+			Every:         every,
+			Resume:        *resume,
+			StopRequested: stop.Load,
+		}
+	}
 	var reads []*gnumap.Read
 	if !streaming {
 		reads, err = gnumap.LoadReads(*readsPath, enc)
@@ -210,6 +276,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
+			opts.Checkpoint = ckptCfg
 			if *metricsOut != "" {
 				calls, stats, report, err = gnumap.RunClusterStreamReport(*nodes, transport, splitMode, reference, src, opts)
 			} else {
@@ -217,6 +284,9 @@ func run() error {
 			}
 			if cerr := src.Close(); err == nil {
 				err = cerr
+			}
+			if errors.Is(err, gnumap.ErrStopped) {
+				return fmt.Errorf("%w to %s; relaunch with -resume to continue", err, *ckptPath)
 			}
 			if err != nil {
 				return err
@@ -247,9 +317,28 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			stats, err = p.MapReadsFrom(src)
+			if ckptCfg != nil {
+				stats, err = runCheckpointed(p, src, ckptCfg)
+			} else {
+				stats, err = p.MapReadsFrom(src)
+			}
 			if cerr := src.Close(); err == nil {
 				err = cerr
+			}
+			if errors.Is(err, gnumap.ErrStopped) {
+				// Flush what the interrupted run did record before exiting
+				// with the resumable status.
+				if reg != nil {
+					if rep, rerr := gnumap.NewMetricsReport([]gnumap.MetricsSnapshot{
+						reg.Snapshot(0),
+						gnumap.ProcessMetrics().Snapshot(gnumap.MetricsProcessRank),
+					}, nil); rerr == nil {
+						if werr := writeTo(*metricsOut, func(f *os.File) error { return rep.WriteJSON(f) }); werr != nil {
+							log.Printf("metrics-out: %v", werr)
+						}
+					}
+				}
+				return fmt.Errorf("%w to %s; relaunch with -resume to continue", err, ckptCfg.Path)
 			}
 			if err != nil {
 				return err
@@ -318,6 +407,47 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runCheckpointed is the single-process checkpointed mapping leg:
+// resume if asked (a missing checkpoint is a fresh start), skip the
+// watermark prefix, stream the rest with periodic checkpoints. The
+// returned stats are cumulative across the whole job, so the summary
+// line stays honest after a resume.
+func runCheckpointed(p *gnumap.Pipeline, src gnumap.ReadSource, cc *gnumap.CheckpointConfig) (gnumap.MapStats, error) {
+	if cc.Resume {
+		skip, err := p.ResumeCheckpoint(cc.Path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: first run of a resumable job.
+		case err != nil:
+			return gnumap.MapStats{}, err
+		default:
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d reads already mapped\n", cc.Path, skip)
+			if err := p.SkipReads(src, skip); err != nil {
+				return gnumap.MapStats{}, err
+			}
+		}
+	}
+	_, err := p.MapReadsFromCheckpointed(src, *cc)
+	return p.CumulativeStats(), err
+}
+
+// parseCheckpointEvery reads the -checkpoint-every value: a bare
+// integer is a read-count interval, anything else must parse as a
+// duration.
+func parseCheckpointEvery(s string) (int64, time.Duration, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("-checkpoint-every %q: read interval must be positive", s)
+		}
+		return n, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-checkpoint-every %q: want a positive read count or duration", s)
+	}
+	return 0, d, nil
 }
 
 // writeTo creates a file and hands it to fn.

@@ -48,6 +48,7 @@ func main() {
 		maxWorkers = flag.Int("maxworkers", runtime.GOMAXPROCS(0), "maximum worker count (fig5)")
 		tcp        = flag.Bool("tcp", false, "use loopback TCP between simulated nodes (fig4)")
 		metricsOut = flag.String("metrics-out", "metrics.json", "output path for the metrics experiment's JSON report")
+		ckptEvery  = flag.Int64("checkpoint-every", 5000, "checkpoint interval in reads for the stream experiment's stream+ckpt row (0 = skip the row)")
 		phmmBatch  = flag.Int("phmm-batch", core.DefaultPhmmBatch, "batched PHMM kernel width for the phmm experiment's engine rows (0 = off, scalar kernel only)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -149,7 +150,7 @@ func main() {
 		ran = true
 	}
 	if all || wants["stream"] {
-		runStream(ds, *workers, *streamOut)
+		runStream(ds, *workers, *ckptEvery, *streamOut)
 		ran = true
 	}
 	if all || wants["call"] {
@@ -365,28 +366,34 @@ func msRound(d time.Duration) time.Duration {
 }
 
 // runStream measures the streaming pipeline against the materialized
-// slice path on the same on-disk FASTQ and writes the machine-readable
+// slice path on the same on-disk FASTQ — plus a third row with durable
+// checkpoints every ckptEvery reads — and writes the machine-readable
 // BENCH_stream.json (reads/sec, sampled peak heap as the RSS proxy,
-// and the pipeline's resident-reads high-water mark).
-func runStream(ds *experiments.Dataset, workers int, outPath string) {
+// the pipeline's resident-reads high-water mark, and the checkpoint
+// overhead fraction).
+func runStream(ds *experiments.Dataset, workers int, ckptEvery int64, outPath string) {
 	fmt.Println("STREAM — bounded pipeline vs materialized slice, same FASTQ")
 	const (
 		batch = 64
 		queue = 4
 	)
-	rows, err := experiments.StreamBench(ds, workers, batch, queue)
+	rows, err := experiments.StreamBench(ds, workers, batch, queue, ckptEvery)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-8s %8s %10s %12s %14s %14s\n", "path", "reads", "wall", "reads/sec", "peak heap", "peak resident")
+	fmt.Printf("%-12s %8s %10s %12s %14s %14s %11s\n", "path", "reads", "wall", "reads/sec", "peak heap", "peak resident", "ckpt stall")
 	for _, r := range rows {
 		resident := "all"
 		if r.PeakResidentReads > 0 {
 			resident = fmt.Sprintf("%d reads", r.PeakResidentReads)
 		}
+		stall := "-"
+		if r.CkptWrites > 0 {
+			stall = fmt.Sprintf("%.1f%%", 100*r.CkptStallFrac)
+		}
 		wall := time.Duration(r.WallNs)
-		fmt.Printf("%-8s %8d %10s %12.0f %14s %14s\n",
-			r.Path, r.Reads, wall.Round(msRound(wall)), r.ReadsPerSec, human(int64(r.PeakHeapBytes)), resident)
+		fmt.Printf("%-12s %8d %10s %12.0f %14s %14s %11s\n",
+			r.Path, r.Reads, wall.Round(msRound(wall)), r.ReadsPerSec, human(int64(r.PeakHeapBytes)), resident, stall)
 	}
 	report := struct {
 		Generated string                       `json:"generated"`

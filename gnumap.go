@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"gnumap/internal/baseline"
+	"gnumap/internal/ckpt"
 	"gnumap/internal/cluster"
 	"gnumap/internal/core"
 	"gnumap/internal/dna"
@@ -146,6 +147,13 @@ type Options struct {
 	// cluster runs instead build one registry per rank — use
 	// RunClusterReport to get the aggregated result.
 	Metrics *MetricsRegistry
+	// Checkpoint, when non-nil, makes RunClusterStream write durable
+	// checkpoints (and honor Resume/StopRequested). Only the streamed
+	// ReadSplit path supports it; fault-tolerant (OpTimeout > 0) and
+	// chaos runs are rejected — shard reassignment and checkpoint
+	// watermarks cannot both own the replay story. Single-process
+	// pipelines use Pipeline.MapReadsFromCheckpointed instead.
+	Checkpoint *CheckpointConfig
 }
 
 // MetricsRegistry is a set of named counters, gauges, and latency
@@ -215,6 +223,11 @@ type Pipeline struct {
 	eng  *core.Engine
 	acc  genome.Accumulator
 	opts Options
+	// cum/consumed track mapping outcomes across the pipeline's life
+	// (all mapping calls plus any resumed checkpoint) — the counters
+	// checkpoints persist so a resumed job's accounting stays honest.
+	cum      MapStats
+	consumed int64
 }
 
 // NewPipeline indexes the reference and allocates the accumulator.
@@ -250,10 +263,24 @@ func (p *Pipeline) combined() (genome.Accumulator, error) {
 	return core.CombineAccumulator(p.acc, p.opts.Engine.Metrics)
 }
 
+// noteRun folds one completed mapping run into the pipeline's
+// cumulative accounting. Every read counts as exactly one of
+// mapped/unmapped, so their sum is the number of reads consumed.
+func (p *Pipeline) noteRun(st MapStats) {
+	p.cum.Mapped += st.Mapped
+	p.cum.Unmapped += st.Unmapped
+	p.cum.Locations += st.Locations
+	p.consumed += st.Mapped + st.Unmapped
+}
+
 // MapReads maps a batch of reads into the pipeline's accumulator using
 // the shared-memory worker pool. It may be called repeatedly.
 func (p *Pipeline) MapReads(reads []*Read) (MapStats, error) {
-	return p.eng.MapReads(reads, p.acc, 0)
+	st, err := p.eng.MapReads(reads, p.acc, 0)
+	if err == nil {
+		p.noteRun(st)
+	}
+	return st, err
 }
 
 // MapReadsFrom maps every read the source yields through the bounded
@@ -262,7 +289,11 @@ func (p *Pipeline) MapReads(reads []*Read) (MapStats, error) {
 // the input size, and the accumulated result is call-identical to
 // MapReads over the materialized stream. It may be called repeatedly.
 func (p *Pipeline) MapReadsFrom(src ReadSource) (MapStats, error) {
-	return p.eng.MapReadsFrom(src, p.acc, 0)
+	st, err := p.eng.MapReadsFrom(src, p.acc, 0)
+	if err == nil {
+		p.noteRun(st)
+	}
+	return st, err
 }
 
 // Call runs the likelihood-ratio SNP caller over the accumulated state.
@@ -303,7 +334,9 @@ func (p *Pipeline) WritePileup(w io.Writer, minDepth float64) error {
 
 // SaveState serializes the pipeline's accumulated per-position state
 // so a long accumulation run can be checkpointed and resumed (or moved
-// between machines).
+// between machines). The bytes are a versioned, checksummed checkpoint
+// (internal/ckpt) carrying the config fingerprint and cumulative
+// mapping counters alongside the accumulator state.
 func (p *Pipeline) SaveState(w io.Writer) error {
 	acc, err := p.combined()
 	if err != nil {
@@ -317,23 +350,42 @@ func (p *Pipeline) SaveState(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	_, err = w.Write(data)
+	_, err = ckpt.WriteTo(w, &ckpt.Checkpoint{
+		Fingerprint:   p.fingerprint(),
+		ReadsConsumed: p.consumed,
+		Mapped:        p.cum.Mapped,
+		Unmapped:      p.cum.Unmapped,
+		Locations:     p.cum.Locations,
+		State:         data,
+	})
 	return err
 }
 
 // LoadState restores state saved by SaveState into a pipeline built
 // with the same reference and memory mode, replacing any accumulation
 // done so far. Further MapReads calls continue from the restored state.
+// The declared payload length is validated against the reference size
+// before allocation; damaged, legacy, or mismatched blobs surface as
+// typed errors (ErrNotCheckpoint, ErrCheckpointTruncated,
+// ErrCheckpointChecksum, ErrCheckpointMismatch, ...).
 func (p *Pipeline) LoadState(r io.Reader) error {
 	st, ok := p.acc.(genome.Stateful)
 	if !ok {
 		return fmt.Errorf("gnumap: memory mode %v is not serializable", p.acc.Mode())
 	}
-	data, err := io.ReadAll(r)
+	cp, err := ckpt.ReadFrom(r, ckpt.MaxPayloadFor(p.ref.Len()))
 	if err != nil {
+		return fmt.Errorf("gnumap: load state: %w", err)
+	}
+	if err := p.fingerprint().Check(cp.Fingerprint); err != nil {
+		return fmt.Errorf("gnumap: load state: %w", err)
+	}
+	if err := st.LoadStateBytes(cp.State); err != nil {
 		return err
 	}
-	return st.LoadStateBytes(data)
+	p.cum = MapStats{Mapped: cp.Mapped, Unmapped: cp.Unmapped, Locations: cp.Locations}
+	p.consumed = cp.ReadsConsumed
+	return nil
 }
 
 // ReferenceLength returns the total reference length.
@@ -708,6 +760,18 @@ func RunClusterStreamReport(nodes int, transport Transport, mode SplitMode,
 func runClusterStream(nodes int, transport Transport, mode SplitMode,
 	reference []*Contig, src ReadSource, opts Options, withMetrics bool) ([]SNPCall, MapStats, *MetricsReport, error) {
 
+	if opts.Checkpoint != nil {
+		// Checkpoint watermarks count reads dealt from the stream; the
+		// materialized fallbacks below (and fault-tolerant shard
+		// reassignment) have no stream to watermark, so reject rather
+		// than silently run without durability.
+		if mode != ReadSplit {
+			return nil, MapStats{}, nil, fmt.Errorf("gnumap: checkpointing requires read-split mode, not %v", mode)
+		}
+		if opts.Cluster.OpTimeout > 0 || opts.Cluster.Fault != nil {
+			return nil, MapStats{}, nil, fmt.Errorf("gnumap: checkpointing is incompatible with fault-tolerant and chaos cluster runs")
+		}
+	}
 	if mode != ReadSplit || opts.Cluster.OpTimeout > 0 {
 		reads, err := materializeReads(src)
 		if err != nil {
@@ -755,6 +819,13 @@ func runCluster(nodes int, transport Transport, mode SplitMode,
 	if err != nil {
 		return nil, MapStats{}, nil, err
 	}
+	var ckr *clusterCkpt
+	if src != nil && opts.Checkpoint != nil {
+		ckr, err = prepareClusterCkpt(ref, src, opts)
+		if err != nil {
+			return nil, MapStats{}, nil, err
+		}
+	}
 	var calls []SNPCall
 	var stats MapStats
 	collect := make([][]SNPCall, nodes)
@@ -779,7 +850,7 @@ func runCluster(nodes int, transport Transport, mode SplitMode,
 			nodeOpts.Caller.Metrics = reg
 			c.SetMetrics(reg)
 		}
-		if err := runClusterNode(c, mode, ref, reads, src, nodeOpts, collect, statsCh); err != nil {
+		if err := runClusterNode(c, mode, ref, reads, src, nodeOpts, ckr, collect, statsCh); err != nil {
 			return err
 		}
 		if withMetrics {
@@ -823,7 +894,7 @@ func runCluster(nodes int, transport Transport, mode SplitMode,
 // runClusterNode is one rank's work: map, then call (or collect LRT
 // candidates for the global FDR pass).
 func runClusterNode(c *cluster.Comm, mode SplitMode, ref *genome.Reference,
-	reads []*Read, src ReadSource, opts Options, collect [][]SNPCall, statsCh chan MapStats) error {
+	reads []*Read, src ReadSource, opts Options, ckr *clusterCkpt, collect [][]SNPCall, statsCh chan MapStats) error {
 
 	switch mode {
 	case ReadSplit:
@@ -831,17 +902,35 @@ func runClusterNode(c *cluster.Comm, mode SplitMode, ref *genome.Reference,
 		var st MapStats
 		var err error
 		if src != nil {
+			var ck *core.StreamCkpt
+			var cw *ckptCommitter
 			if c.Rank() != 0 {
 				src = nil // only rank 0 owns the stream
+			} else {
+				ck, cw = streamCkptFor(ckr, opts.Engine.Metrics)
 			}
-			acc, st, err = core.RunReadSplitStream(c, ref, src, opts.Memory, opts.Engine)
+			acc, st, err = core.RunReadSplitStreamCkpt(c, ref, src, opts.Memory, opts.Engine, ck)
+			if cw != nil {
+				if ferr := cw.Flush(); ferr != nil && (err == nil || errors.Is(err, ErrStopped)) {
+					err = fmt.Errorf("gnumap: checkpoint commit: %w", ferr)
+				}
+			}
 		} else {
 			acc, st, err = core.RunReadSplit(c, ref, reads, opts.Memory, opts.Engine)
 		}
 		if err != nil {
+			// ErrStopped propagates: the final checkpoint is on disk and
+			// the caller decides whether to call on partial state.
 			return err
 		}
 		if c.Rank() == 0 {
+			if ckr != nil {
+				// Fold the resumed base back in so the reported totals
+				// cover the whole job, not just this invocation.
+				st.Mapped += ckr.base.Mapped
+				st.Unmapped += ckr.base.Unmapped
+				st.Locations += ckr.base.Locations
+			}
 			statsCh <- st
 			cs, _, err := snp.CallAll(ref, acc, opts.Caller)
 			if err != nil {

@@ -1,0 +1,374 @@
+// Package ckpt implements the durable checkpoint file format that makes
+// a long mapping run killable and resumable. A checkpoint carries three
+// things:
+//
+//   - a config fingerprint (reference digest, memory mode, effective
+//     band, ploidy, and a digest over the remaining call-affecting
+//     parameters) so a checkpoint can never be silently loaded into a
+//     pipeline that would produce different calls;
+//   - a source watermark (reads consumed from the input stream) plus
+//     the mapping statistics at that point, so a resumed run can skip
+//     exactly the already-mapped prefix and keep its counters honest;
+//   - the serialized accumulator state (genome.Stateful blob).
+//
+// The on-disk layout is versioned, length-prefixed, and checksummed so
+// every failure mode — truncation, bit rot, version skew, a file that
+// is not a checkpoint at all — surfaces as a typed error instead of
+// undefined behavior:
+//
+//	magic   [8]byte  "GNUMAPCP"
+//	version uint16   (little-endian; currently 1)
+//	hlen    uint32   header length
+//	header  [hlen]byte (fixed v1 binary layout, see encodeHeader)
+//	hcrc    uint32   CRC-32 (IEEE) of header
+//	plen    uint64   payload length
+//	payload [plen]byte (accumulator state blob)
+//	pcrc    uint32   CRC-32 (IEEE) of payload
+//
+// WriteFile is atomic: the bytes go to a temp file in the destination
+// directory, are fsynced, and are renamed over the destination (then
+// the directory is fsynced), so a crash at any instant leaves either
+// the previous complete checkpoint or the new complete checkpoint —
+// never a torn file.
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a checkpoint file.
+var Magic = [8]byte{'G', 'N', 'U', 'M', 'A', 'P', 'C', 'P'}
+
+// Version is the current format version.
+const Version = 1
+
+// v1HeaderLen is the exact encoded header size of version 1.
+const v1HeaderLen = 32 + 8 + 4 + 4 + 4 + 32 + 8 + 8 + 8 + 8
+
+// maxHeaderLen bounds the declared header length before allocation.
+const maxHeaderLen = 1 << 12
+
+// Typed failure modes. Every decode error wraps exactly one of these,
+// so callers distinguish "not a checkpoint" from "damaged checkpoint"
+// from "checkpoint for a different run" with errors.Is.
+var (
+	// ErrNotCheckpoint: the data does not start with the magic bytes.
+	ErrNotCheckpoint = errors.New("ckpt: not a checkpoint file")
+	// ErrVersion: the format version is not supported by this build.
+	ErrVersion = errors.New("ckpt: unsupported checkpoint version")
+	// ErrTruncated: the data ends before a declared section does.
+	ErrTruncated = errors.New("ckpt: truncated checkpoint")
+	// ErrChecksum: a section's CRC does not match its contents.
+	ErrChecksum = errors.New("ckpt: checksum mismatch")
+	// ErrTooLarge: a declared section length exceeds the caller's bound.
+	ErrTooLarge = errors.New("ckpt: declared length exceeds limit")
+	// ErrMismatch: the checkpoint's config fingerprint does not match
+	// the pipeline trying to load it.
+	ErrMismatch = errors.New("ckpt: config fingerprint mismatch")
+)
+
+// Fingerprint pins a checkpoint to the run configuration that produced
+// it. Only call-affecting parameters participate: execution knobs
+// (worker count, batch size, queue depth) are free to change across a
+// resume.
+type Fingerprint struct {
+	// RefDigest is the SHA-256 of the concatenated reference sequence.
+	RefDigest [32]byte
+	// RefLen is the concatenated reference length.
+	RefLen int64
+	// Memory is the accumulator layout (genome.Mode).
+	Memory int32
+	// Band is the effective Pair-HMM band width.
+	Band int32
+	// Ploidy is the LRT hypothesis family.
+	Ploidy int32
+	// ParamsDigest hashes the remaining call-affecting configuration
+	// (PHMM parameters, seeding/filter thresholds, caller settings).
+	ParamsDigest [32]byte
+}
+
+// Check returns nil when got matches f, or an error wrapping
+// ErrMismatch naming the first differing field.
+func (f Fingerprint) Check(got Fingerprint) error {
+	switch {
+	case f.RefDigest != got.RefDigest:
+		return fmt.Errorf("%w: reference digest %x != %x", ErrMismatch, got.RefDigest[:8], f.RefDigest[:8])
+	case f.RefLen != got.RefLen:
+		return fmt.Errorf("%w: reference length %d != %d", ErrMismatch, got.RefLen, f.RefLen)
+	case f.Memory != got.Memory:
+		return fmt.Errorf("%w: memory mode %d != %d", ErrMismatch, got.Memory, f.Memory)
+	case f.Band != got.Band:
+		return fmt.Errorf("%w: band width %d != %d", ErrMismatch, got.Band, f.Band)
+	case f.Ploidy != got.Ploidy:
+		return fmt.Errorf("%w: ploidy %d != %d", ErrMismatch, got.Ploidy, f.Ploidy)
+	case f.ParamsDigest != got.ParamsDigest:
+		return fmt.Errorf("%w: parameter digest %x != %x", ErrMismatch, got.ParamsDigest[:8], f.ParamsDigest[:8])
+	}
+	return nil
+}
+
+// DigestParams hashes an arbitrary canonical parameter rendering into a
+// ParamsDigest. Callers are responsible for a deterministic rendering
+// (e.g. fmt over a fixed field list).
+func DigestParams(canonical string) [32]byte {
+	return sha256.Sum256([]byte(canonical))
+}
+
+// Checkpoint is the decoded content of a checkpoint file.
+type Checkpoint struct {
+	Fingerprint Fingerprint
+	// ReadsConsumed is the source watermark: every read with ordinal
+	// < ReadsConsumed (0-based) is fully accumulated in State.
+	ReadsConsumed int64
+	// Mapped/Unmapped/Locations are the mapping statistics at the
+	// watermark (Mapped + Unmapped == ReadsConsumed).
+	Mapped, Unmapped, Locations int64
+	// State is the accumulator state blob (genome.Stateful.State).
+	State []byte
+}
+
+// MaxPayloadFor bounds the declared payload length for a reference of
+// the given length: the largest accumulator state (NORM, five float32
+// per position) encodes to well under 64 bytes/position in the genome
+// package's raw layout, plus a fixed allowance for framing.
+func MaxPayloadFor(refLen int) int64 {
+	return 64*int64(refLen) + 1<<20
+}
+
+// Encode serializes a checkpoint.
+func Encode(cp *Checkpoint) []byte {
+	header := encodeHeader(cp)
+	buf := make([]byte, 0, len(header)+len(cp.State)+8+2+4+4+8+4)
+	buf = append(buf, Magic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(header)))
+	buf = append(buf, header...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(header))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(cp.State)))
+	buf = append(buf, cp.State...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(cp.State))
+	return buf
+}
+
+func encodeHeader(cp *Checkpoint) []byte {
+	b := make([]byte, 0, v1HeaderLen)
+	b = append(b, cp.Fingerprint.RefDigest[:]...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(cp.Fingerprint.RefLen))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cp.Fingerprint.Memory))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cp.Fingerprint.Band))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cp.Fingerprint.Ploidy))
+	b = append(b, cp.Fingerprint.ParamsDigest[:]...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(cp.ReadsConsumed))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cp.Mapped))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cp.Unmapped))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cp.Locations))
+	return b
+}
+
+func decodeHeader(h []byte) (*Checkpoint, error) {
+	if len(h) < v1HeaderLen {
+		return nil, fmt.Errorf("%w: header %d bytes, need %d", ErrTruncated, len(h), v1HeaderLen)
+	}
+	cp := &Checkpoint{}
+	copy(cp.Fingerprint.RefDigest[:], h[0:32])
+	cp.Fingerprint.RefLen = int64(binary.LittleEndian.Uint64(h[32:40]))
+	cp.Fingerprint.Memory = int32(binary.LittleEndian.Uint32(h[40:44]))
+	cp.Fingerprint.Band = int32(binary.LittleEndian.Uint32(h[44:48]))
+	cp.Fingerprint.Ploidy = int32(binary.LittleEndian.Uint32(h[48:52]))
+	copy(cp.Fingerprint.ParamsDigest[:], h[52:84])
+	cp.ReadsConsumed = int64(binary.LittleEndian.Uint64(h[84:92]))
+	cp.Mapped = int64(binary.LittleEndian.Uint64(h[92:100]))
+	cp.Unmapped = int64(binary.LittleEndian.Uint64(h[100:108]))
+	cp.Locations = int64(binary.LittleEndian.Uint64(h[108:116]))
+	return cp, nil
+}
+
+// Decode parses a checkpoint from data. maxPayload bounds the declared
+// payload length (use MaxPayloadFor; <= 0 rejects any payload). Decode
+// never panics on hostile input; every failure wraps one of the typed
+// sentinel errors.
+func Decode(data []byte, maxPayload int64) (*Checkpoint, error) {
+	if len(data) < len(Magic) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrNotCheckpoint, len(data))
+	}
+	if !bytes.Equal(data[:len(Magic)], Magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrNotCheckpoint, data[:len(Magic)])
+	}
+	rest := data[len(Magic):]
+	if len(rest) < 2+4 {
+		return nil, fmt.Errorf("%w: missing version/header length", ErrTruncated)
+	}
+	ver := binary.LittleEndian.Uint16(rest[0:2])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrVersion, ver, Version)
+	}
+	hlen := int64(binary.LittleEndian.Uint32(rest[2:6]))
+	if hlen > maxHeaderLen {
+		return nil, fmt.Errorf("%w: header %d bytes > %d", ErrTooLarge, hlen, maxHeaderLen)
+	}
+	rest = rest[6:]
+	if int64(len(rest)) < hlen+4 {
+		return nil, fmt.Errorf("%w: header section", ErrTruncated)
+	}
+	header := rest[:hlen]
+	hcrc := binary.LittleEndian.Uint32(rest[hlen : hlen+4])
+	if crc32.ChecksumIEEE(header) != hcrc {
+		return nil, fmt.Errorf("%w: header", ErrChecksum)
+	}
+	cp, err := decodeHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	rest = rest[hlen+4:]
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("%w: missing payload length", ErrTruncated)
+	}
+	plen := binary.LittleEndian.Uint64(rest[0:8])
+	if plen > uint64(maxPayload) || maxPayload <= 0 {
+		return nil, fmt.Errorf("%w: payload %d bytes > %d", ErrTooLarge, plen, maxPayload)
+	}
+	rest = rest[8:]
+	if uint64(len(rest)) < plen+4 {
+		return nil, fmt.Errorf("%w: payload section", ErrTruncated)
+	}
+	payload := rest[:plen]
+	pcrc := binary.LittleEndian.Uint32(rest[plen : plen+4])
+	if crc32.ChecksumIEEE(payload) != pcrc {
+		return nil, fmt.Errorf("%w: payload", ErrChecksum)
+	}
+	// Copy so the checkpoint does not alias the caller's buffer.
+	cp.State = append([]byte(nil), payload...)
+	return cp, nil
+}
+
+// ReadFrom decodes a checkpoint from a stream, reading section by
+// section so the declared payload length is validated against
+// maxPayload before any large allocation.
+func ReadFrom(r io.Reader, maxPayload int64) (*Checkpoint, error) {
+	var pre [8 + 2 + 4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, readErr(err, ErrNotCheckpoint, "preamble")
+	}
+	if !bytes.Equal(pre[:8], Magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrNotCheckpoint, pre[:8])
+	}
+	ver := binary.LittleEndian.Uint16(pre[8:10])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrVersion, ver, Version)
+	}
+	hlen := int64(binary.LittleEndian.Uint32(pre[10:14]))
+	if hlen > maxHeaderLen {
+		return nil, fmt.Errorf("%w: header %d bytes > %d", ErrTooLarge, hlen, maxHeaderLen)
+	}
+	header := make([]byte, hlen+4)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, readErr(err, ErrTruncated, "header")
+	}
+	hcrc := binary.LittleEndian.Uint32(header[hlen:])
+	header = header[:hlen]
+	if crc32.ChecksumIEEE(header) != hcrc {
+		return nil, fmt.Errorf("%w: header", ErrChecksum)
+	}
+	cp, err := decodeHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	var plenBuf [8]byte
+	if _, err := io.ReadFull(r, plenBuf[:]); err != nil {
+		return nil, readErr(err, ErrTruncated, "payload length")
+	}
+	plen := binary.LittleEndian.Uint64(plenBuf[:])
+	if maxPayload <= 0 || plen > uint64(maxPayload) {
+		return nil, fmt.Errorf("%w: payload %d bytes > %d", ErrTooLarge, plen, maxPayload)
+	}
+	payload := make([]byte, plen+4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, readErr(err, ErrTruncated, "payload")
+	}
+	pcrc := binary.LittleEndian.Uint32(payload[plen:])
+	payload = payload[:plen]
+	if crc32.ChecksumIEEE(payload) != pcrc {
+		return nil, fmt.Errorf("%w: payload", ErrChecksum)
+	}
+	cp.State = payload
+	return cp, nil
+}
+
+func readErr(err error, sentinel error, what string) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %s", sentinel, what)
+	}
+	return fmt.Errorf("ckpt: read %s: %w", what, err)
+}
+
+// WriteTo encodes cp to w and returns the byte count.
+func WriteTo(w io.Writer, cp *Checkpoint) (int64, error) {
+	data := Encode(cp)
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// WriteFile atomically replaces path with the encoded checkpoint:
+// temp file in the same directory, fsync, rename, directory fsync. A
+// crash at any point leaves either the old complete file or the new
+// complete file. Returns the encoded size.
+func WriteFile(path string, cp *Checkpoint) (int64, error) {
+	data := Encode(cp)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp.*")
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) (int64, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	// Durability of the rename itself: fsync the directory. Failure
+	// here does not invalidate the (already complete) file contents.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return int64(len(data)), nil
+}
+
+// ReadFile reads and decodes the checkpoint at path.
+func ReadFile(path string, maxPayload int64) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := ReadFrom(f, maxPayload)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cp, nil
+}

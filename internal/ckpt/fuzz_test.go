@@ -1,0 +1,62 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the checkpoint decoder with arbitrary bytes: bit
+// flips, truncations, version skew, hostile lengths. The invariant is
+// the robustness contract of the format — the decoder never panics,
+// never allocates past the declared bound, and anything it does accept
+// re-encodes to a decodable checkpoint (no silently half-parsed state).
+func FuzzDecode(f *testing.F) {
+	// Seed with valid checkpoints from the round-trip shapes...
+	cp := sampleCheckpoint()
+	f.Add(Encode(cp))
+	empty := sampleCheckpoint()
+	empty.State = nil
+	f.Add(Encode(empty))
+	big := sampleCheckpoint()
+	big.State = bytes.Repeat([]byte{0xAB}, 4096)
+	f.Add(Encode(big))
+	// ...and with near-misses the unit tests cover.
+	valid := Encode(cp)
+	skew := append([]byte(nil), valid...)
+	skew[8] = 2
+	f.Add(skew)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("GNUMAPCP"))
+	f.Add([]byte{})
+
+	const maxPayload = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := Decode(data, maxPayload)
+		if err != nil {
+			if cp != nil {
+				t.Fatalf("Decode returned non-nil checkpoint alongside error %v", err)
+			}
+			return
+		}
+		if int64(len(cp.State)) > maxPayload {
+			t.Fatalf("accepted payload of %d bytes past the %d bound", len(cp.State), maxPayload)
+		}
+		// Anything accepted must round-trip exactly.
+		again, err := Decode(Encode(cp), maxPayload)
+		if err != nil {
+			t.Fatalf("re-decode of accepted checkpoint failed: %v", err)
+		}
+		if again.Fingerprint != cp.Fingerprint || again.ReadsConsumed != cp.ReadsConsumed ||
+			!bytes.Equal(again.State, cp.State) {
+			t.Fatalf("re-encode round trip diverged")
+		}
+		// The streaming decoder must agree with the slice decoder.
+		fromStream, err := ReadFrom(bytes.NewReader(data), maxPayload)
+		if err != nil {
+			t.Fatalf("ReadFrom rejected what Decode accepted: %v", err)
+		}
+		if fromStream.Fingerprint != cp.Fingerprint || !bytes.Equal(fromStream.State, cp.State) {
+			t.Fatalf("ReadFrom and Decode disagree")
+		}
+	})
+}

@@ -208,6 +208,16 @@ func (c Config) effectiveBand() int {
 	}
 }
 
+// Resolved returns the configuration with every defaulted knob filled
+// in — the effective values a run actually uses. Checkpoint
+// fingerprints hash the resolved form so "zero value" and "explicit
+// default" never spuriously mismatch.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
+// EffectiveBand resolves the Band knob (including auto mode) into the
+// concrete band width a run uses.
+func (c Config) EffectiveBand() int { return c.withDefaults().effectiveBand() }
+
 // Stats counts mapping outcomes.
 type Stats struct {
 	// Mapped and Unmapped count reads; Locations counts accepted

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gnumap/internal/fastq"
 	"gnumap/internal/genome"
@@ -45,6 +47,7 @@ type streamMetrics struct {
 	peakResident *obs.Gauge
 	batches      *obs.Counter
 	reads        *obs.Counter
+	ckptStall    *obs.Histogram
 }
 
 func newStreamMetrics(reg *obs.Registry) *streamMetrics {
@@ -56,6 +59,13 @@ func newStreamMetrics(reg *obs.Registry) *streamMetrics {
 		peakResident: reg.Gauge("stream.peak.resident.reads"),
 		batches:      reg.Counter("stream.batches"),
 		reads:        reg.Counter("stream.reads"),
+		// ckptStall observes, per checkpoint, the window where the whole
+		// pipeline is idle: quiesce complete (every worker parked) through
+		// snapshot and sink return. The drain before it is productive —
+		// workers are mapping queued batches — so this, not wall-clock
+		// differencing, is the checkpoint feature's added critical-path
+		// time.
+		ckptStall: reg.Timer("stream.ckpt.stall.seconds"),
 	}
 }
 
@@ -64,6 +74,40 @@ func newStreamMetrics(reg *obs.Registry) *streamMetrics {
 // collector once their batch has been mapped.
 type readBatch struct {
 	reads []*fastq.Read
+}
+
+// ErrStopped is returned by MapReadsFromCkpt after a cooperative stop:
+// the pipeline drained, the final checkpoint sink ran, and mapping
+// ended early by request rather than by error or end of input.
+var ErrStopped = errors.New("core: stop requested; run state checkpointed")
+
+// ErrCkptBarrier is a sentinel a fastq.Source may return to request an
+// out-of-band quiesce + checkpoint instead of more reads. The streaming
+// pipeline drains in-flight batches, runs the checkpoint sink, and then
+// resumes pulling from the source. The cluster dealing protocol uses it
+// to propagate rank 0's checkpoint rounds into each rank's local
+// pipeline; it is not an error and never escapes MapReadsFromCkpt.
+var ErrCkptBarrier = errors.New("core: checkpoint barrier")
+
+// CheckpointPolicy makes MapReadsFromCkpt periodically quiesce the
+// pipeline and hand a consistent snapshot to Sink.
+type CheckpointPolicy struct {
+	// EveryReads triggers a checkpoint each time this many reads have
+	// been consumed since the last one (0 = no read-count trigger).
+	EveryReads int64
+	// Every triggers a checkpoint when this much wall time has passed
+	// since the last one (0 = no time trigger). Both triggers may be
+	// set; whichever fires first wins.
+	Every time.Duration
+	// Sink receives each snapshot: reads consumed from the source so
+	// far THIS RUN, the mapping stats so far this run, and the
+	// serialized accumulator state (which includes any state loaded
+	// before the run). A Sink error aborts the pipeline.
+	Sink func(consumed int64, st Stats, state []byte) error
+	// StopRequested, when non-nil, is polled between batches; returning
+	// true drains the pipeline, runs a final Sink, and makes
+	// MapReadsFromCkpt return ErrStopped.
+	StopRequested func() bool
 }
 
 // MapReadsFrom maps every read src yields, accumulating online into
@@ -75,6 +119,19 @@ type readBatch struct {
 // stream: same Stats, same accumulated mass (up to the float
 // accumulation-order tolerance the worker pool already has).
 func (e *Engine) MapReadsFrom(src fastq.Source, acc genome.Accumulator, accOffset int) (Stats, error) {
+	return e.MapReadsFromCkpt(src, acc, accOffset, nil)
+}
+
+// MapReadsFromCkpt is MapReadsFrom with a checkpoint policy: every
+// EveryReads reads / Every wall time (or when the source returns
+// ErrCkptBarrier) the producer quiesces the pipeline — it collects all
+// (Queue + Workers) recycled buffers from the free list, which can only
+// succeed once the work queue is empty and every worker has finished
+// its batch, so the channel handoffs give the producer a happens-before
+// edge over every accumulator write — snapshots the stats and
+// accumulator state, hands them to policy.Sink, and resumes. A nil
+// policy makes it exactly MapReadsFrom.
+func (e *Engine) MapReadsFromCkpt(src fastq.Source, acc genome.Accumulator, accOffset int, policy *CheckpointPolicy) (Stats, error) {
 	var st Stats
 	if acc == nil {
 		return st, fmt.Errorf("core: nil accumulator")
@@ -119,13 +176,76 @@ func (e *Engine) MapReadsFrom(src fastq.Source, acc genome.Accumulator, accOffse
 	}
 	var resident, peak atomic.Int64
 
-	// Producer: fill batches from the source until EOF, error, or stop.
+	// Producer: fill batches from the source until EOF, error, or stop,
+	// quiescing for a checkpoint whenever the policy (or a source
+	// barrier) asks for one.
 	var prodWG sync.WaitGroup
 	prodWG.Add(1)
 	go func() {
 		defer prodWG.Done()
 		defer close(work)
+		var consumed, sinceCkpt int64
+		lastCkpt := time.Now()
+		held := make([]*readBatch, 0, nbuf)
+		release := func() {
+			for _, hb := range held {
+				free <- hb
+			}
+			held = held[:0]
+		}
+		// quiesce collects every recycled buffer: possible only once the
+		// work queue is empty and all workers are idle between batches.
+		quiesce := func() bool {
+			for len(held) < nbuf {
+				select {
+				case hb := <-free:
+					held = append(held, hb)
+				case <-stopCh:
+					release()
+					return false
+				}
+			}
+			return true
+		}
+		// checkpoint quiesces, snapshots (stats + accumulator state),
+		// runs the sink, and resumes the pipeline. False aborts the run.
+		checkpoint := func() bool {
+			if policy == nil || policy.Sink == nil {
+				return true
+			}
+			if !quiesce() {
+				return false
+			}
+			stallStart := time.Now()
+			snap := Stats{
+				Mapped:    atomic.LoadInt64(&st.Mapped),
+				Unmapped:  atomic.LoadInt64(&st.Unmapped),
+				Locations: atomic.LoadInt64(&st.Locations),
+			}
+			state, err := genome.SnapshotState(acc)
+			release()
+			if err != nil {
+				latch(err)
+				return false
+			}
+			if err := policy.Sink(consumed, snap, state); err != nil {
+				latch(fmt.Errorf("core: checkpoint sink: %w", err))
+				return false
+			}
+			if sm != nil {
+				sm.ckptStall.ObserveDuration(time.Since(stallStart))
+			}
+			sinceCkpt = 0
+			lastCkpt = time.Now()
+			return true
+		}
 		for {
+			if policy != nil && policy.StopRequested != nil && policy.StopRequested() {
+				if checkpoint() {
+					latch(ErrStopped)
+				}
+				return
+			}
 			var b *readBatch
 			select {
 			case b = <-free:
@@ -142,6 +262,7 @@ func (e *Engine) MapReadsFrom(src fastq.Source, acc genome.Accumulator, accOffse
 				}
 				b.reads = append(b.reads, rd)
 			}
+			barrier := errors.Is(srcErr, ErrCkptBarrier)
 			if n := len(b.reads); n > 0 {
 				r := resident.Add(int64(n))
 				for {
@@ -163,12 +284,30 @@ func (e *Engine) MapReadsFrom(src fastq.Source, acc genome.Accumulator, accOffse
 				case <-stopCh:
 					return
 				}
+				consumed += int64(n)
+				sinceCkpt += int64(n)
+			} else {
+				// Unused buffer goes straight back so quiesce can count it.
+				free <- b
+			}
+			if barrier {
+				if !checkpoint() {
+					return
+				}
+				continue
 			}
 			if srcErr != nil {
 				if srcErr != io.EOF {
 					latch(fmt.Errorf("core: read source: %w", srcErr))
 				}
 				return
+			}
+			if policy != nil &&
+				((policy.EveryReads > 0 && sinceCkpt >= policy.EveryReads) ||
+					(policy.Every > 0 && time.Since(lastCkpt) >= policy.Every)) {
+				if !checkpoint() {
+					return
+				}
 			}
 		}
 	}()

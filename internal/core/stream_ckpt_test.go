@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"gnumap/internal/fastq"
+	"gnumap/internal/genome"
+)
+
+type sinkRecord struct {
+	consumed int64
+	st       Stats
+	state    []byte
+}
+
+// TestMapReadsFromCkptSinkInvariants exercises the periodic quiesce
+// barrier with a sharded accumulator (the layout where a destructive
+// snapshot would corrupt the run): sinks fire at the configured
+// interval, consumed counts are monotone and consistent with the stats
+// snapshot, and the pipeline's final result is unchanged by the
+// barriers.
+func TestMapReadsFromCkptSinkInvariants(t *testing.T) {
+	p := makePipeline(t, 30000, 3, 8, 51)
+	cfg := Config{Workers: 4, Batch: 16, Queue: 2, Accum: AccumSharded}
+	eng, err := NewEngine(p.ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference run without checkpointing.
+	want, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSt, err := eng.MapReadsFrom(fastq.SliceSource(p.reads), want, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sinks []sinkRecord
+	pol := &CheckpointPolicy{
+		EveryReads: 100,
+		Sink: func(consumed int64, st Stats, state []byte) error {
+			sinks = append(sinks, sinkRecord{consumed, st, state})
+			return nil
+		},
+	}
+	gotSt, err := eng.MapReadsFromCkpt(fastq.SliceSource(p.reads), acc, 0, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks) < 2 {
+		t.Fatalf("only %d checkpoints fired over %d reads at interval 100", len(sinks), len(p.reads))
+	}
+	var prev int64 = -1
+	for i, s := range sinks {
+		if s.consumed <= prev {
+			t.Errorf("sink %d: consumed %d not monotone (prev %d)", i, s.consumed, prev)
+		}
+		prev = s.consumed
+		if got := s.st.Mapped + s.st.Unmapped; got != s.consumed {
+			t.Errorf("sink %d: stats account for %d reads, consumed %d", i, got, s.consumed)
+		}
+		if len(s.state) == 0 {
+			t.Errorf("sink %d: empty state snapshot", i)
+		}
+	}
+	if gotSt.Mapped != wantSt.Mapped || gotSt.Unmapped != wantSt.Unmapped || gotSt.Locations != wantSt.Locations {
+		t.Errorf("stats diverge with checkpointing: %+v vs %+v", gotSt, wantSt)
+	}
+	compareAccums(t, want, acc, p.ref.Len())
+}
+
+// TestMapReadsFromCkptResumeIdentity is the resume invariant at the
+// engine level: interrupt a run at a checkpoint, load the checkpoint
+// state into a fresh accumulator, skip the watermark, map the rest —
+// the final accumulated mass matches the uninterrupted run.
+func TestMapReadsFromCkptResumeIdentity(t *testing.T) {
+	p := makePipeline(t, 30000, 3, 8, 53)
+	cfg := Config{Workers: 4, Batch: 16, Queue: 2, Accum: AccumSharded}
+	eng, err := NewEngine(p.ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSt, err := eng.MapReadsFrom(fastq.SliceSource(p.reads), full, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: stop cooperatively after the second checkpoint.
+	acc1, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last sinkRecord
+	var nSinks atomic.Int64
+	pol := &CheckpointPolicy{
+		EveryReads: 150,
+		Sink: func(consumed int64, st Stats, state []byte) error {
+			last = sinkRecord{consumed, st, append([]byte(nil), state...)}
+			nSinks.Add(1)
+			return nil
+		},
+		StopRequested: func() bool { return nSinks.Load() >= 2 },
+	}
+	_, err = eng.MapReadsFromCkpt(fastq.SliceSource(p.reads), acc1, 0, pol)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("interrupted run returned %v, want ErrStopped", err)
+	}
+	if last.consumed <= 0 || last.consumed >= int64(len(p.reads)) {
+		t.Fatalf("stop checkpoint at watermark %d of %d reads; dataset too small for the test", last.consumed, len(p.reads))
+	}
+
+	// Resume: fresh accumulator, load the checkpoint, skip the
+	// watermark, map the remainder.
+	acc2, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc2.(genome.Stateful).LoadStateBytes(last.state); err != nil {
+		t.Fatal(err)
+	}
+	rest := p.reads[last.consumed:]
+	restSt, err := eng.MapReadsFrom(fastq.SliceSource(rest), acc2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := last.st.Mapped + restSt.Mapped; got != fullSt.Mapped {
+		t.Errorf("mapped %d after resume, want %d", got, fullSt.Mapped)
+	}
+	if got := last.st.Unmapped + restSt.Unmapped; got != fullSt.Unmapped {
+		t.Errorf("unmapped %d after resume, want %d", got, fullSt.Unmapped)
+	}
+	compareAccums(t, full, acc2, p.ref.Len())
+}
+
+// barrierSource injects ErrCkptBarrier every interval reads.
+type barrierSource struct {
+	reads    []*fastq.Read
+	pos      int
+	interval int
+	sinceBar int
+}
+
+func (s *barrierSource) Next() (*fastq.Read, error) {
+	if s.sinceBar >= s.interval {
+		s.sinceBar = 0
+		return nil, ErrCkptBarrier
+	}
+	if s.pos >= len(s.reads) {
+		return nil, io.EOF
+	}
+	rd := s.reads[s.pos]
+	s.pos++
+	s.sinceBar++
+	return rd, nil
+}
+
+// TestMapReadsFromCkptBarrierSource drives the out-of-band barrier the
+// cluster protocol uses: the source itself requests checkpoints, at
+// positions that do not align with batch boundaries.
+func TestMapReadsFromCkptBarrierSource(t *testing.T) {
+	p := makePipeline(t, 30000, 3, 8, 57)
+	cfg := Config{Workers: 4, Batch: 16, Queue: 2}
+	eng, err := NewEngine(p.ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSt, err := eng.MapReadsFrom(fastq.SliceSource(p.reads), want, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var consumedAt []int64
+	pol := &CheckpointPolicy{
+		Sink: func(consumed int64, st Stats, state []byte) error {
+			consumedAt = append(consumedAt, consumed)
+			return nil
+		},
+	}
+	src := &barrierSource{reads: p.reads, interval: 37}
+	gotSt, err := eng.MapReadsFromCkpt(src, acc, 0, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consumedAt) < 3 {
+		t.Fatalf("only %d barrier checkpoints fired", len(consumedAt))
+	}
+	for i, c := range consumedAt {
+		if want := int64((i + 1) * 37); c != want {
+			t.Errorf("barrier %d fired at consumed=%d, want %d", i, c, want)
+		}
+	}
+	if gotSt.Mapped != wantSt.Mapped || gotSt.Unmapped != wantSt.Unmapped || gotSt.Locations != wantSt.Locations {
+		t.Errorf("stats diverge with barriers: %+v vs %+v", gotSt, wantSt)
+	}
+	compareAccums(t, want, acc, p.ref.Len())
+}
+
+// TestMapReadsFromCkptNilPolicyBarrier: a barrier from the source with
+// no policy attached quietly resumes (no sink, no error).
+func TestMapReadsFromCkptNilPolicyBarrier(t *testing.T) {
+	p := makePipeline(t, 20000, 2, 6, 59)
+	cfg := Config{Workers: 2, Batch: 8, Queue: 2}
+	eng, err := NewEngine(p.ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(genome.Norm, p.ref.Len(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &barrierSource{reads: p.reads, interval: 25}
+	st, err := eng.MapReadsFromCkpt(src, acc, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mapped+st.Unmapped != int64(len(p.reads)) {
+		t.Errorf("accounted for %d reads, want %d", st.Mapped+st.Unmapped, len(p.reads))
+	}
+}
+
+func compareAccums(t *testing.T, want, got genome.Accumulator, length int) {
+	t.Helper()
+	for pos := 0; pos < length; pos += 101 {
+		a, b := want.Total(pos), got.Total(pos)
+		if math.Abs(a-b) > 1e-3*(1+a) {
+			t.Fatalf("pos %d: accumulated mass %v vs %v", pos, b, a)
+		}
+	}
+}

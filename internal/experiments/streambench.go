@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"gnumap/internal/ckpt"
 	"gnumap/internal/core"
 	"gnumap/internal/fastq"
 	"gnumap/internal/genome"
@@ -37,6 +38,24 @@ type StreamBenchRow struct {
 	Workers int `json:"workers"`
 	Batch   int `json:"batch"`
 	Queue   int `json:"queue"`
+	// Checkpointing cost, set only on the "stream+ckpt" row: the
+	// read-count interval, durable writes performed, and bytes
+	// committed.
+	CkptEveryReads int64 `json:"ckpt_every_reads,omitempty"`
+	CkptWrites     int64 `json:"ckpt_writes,omitempty"`
+	CkptBytes      int64 `json:"ckpt_bytes,omitempty"`
+	// CkptStallFrac is the checkpoint overhead: the fraction of the
+	// row's wall time spent with the pipeline fully stalled for
+	// checkpointing (quiesced snapshot + sink handoff, measured by the
+	// stream.ckpt.stall.seconds timer). The durable write itself
+	// overlaps resumed mapping, so this direct measurement — not
+	// wall-clock differencing against the "stream" row, whose run-to-run
+	// noise exceeds the effect — is the feature's critical-path cost.
+	CkptStallFrac float64 `json:"ckpt_stall_frac,omitempty"`
+	// CkptOverheadFrac is the noisy secondary indicator: this row's wall
+	// time relative to the best "stream" row. Treat ±10% as measurement
+	// noise on a shared host.
+	CkptOverheadFrac float64 `json:"ckpt_overhead_frac,omitempty"`
 }
 
 // heapSampler polls the live heap on a short period and keeps the
@@ -78,13 +97,23 @@ func (s *heapSampler) Stop() uint64 {
 	return s.peak
 }
 
-// StreamBench maps the dataset from an on-disk FASTQ twice — once
-// materialized (ReadFile + MapReads), once through the bounded
-// streaming pipeline (Open + MapReadsFrom) — and reports wall time,
-// throughput, sampled peak heap, and the pipeline's resident-reads
-// high-water mark. Identical accumulator mass is asserted, so the rows
-// always compare equivalent work.
-func StreamBench(ds *Dataset, workers, batch, queue int) ([]StreamBenchRow, error) {
+// streamBenchIters is the repeat count per row; each row reports its
+// fastest repeat. Single ~700ms runs on a shared host carry ±20% wall
+// noise — far more than the few-percent checkpoint overhead the rows
+// exist to measure — and best-of-N under identical work converges on
+// the true cost from above.
+const streamBenchIters = 3
+
+// StreamBench maps the dataset from an on-disk FASTQ three ways —
+// materialized (ReadFile + MapReads), through the bounded streaming
+// pipeline (Open + MapReadsFrom), and streaming with periodic durable
+// checkpoints every ckptEvery reads (0 skips the row) — and reports
+// wall time, throughput, sampled peak heap, the pipeline's
+// resident-reads high-water mark, and the checkpointing overhead.
+// Every row is the best of streamBenchIters repeats, and identical
+// accumulator mass is asserted, so the rows always compare equivalent
+// work.
+func StreamBench(ds *Dataset, workers, batch, queue int, ckptEvery int64) ([]StreamBenchRow, error) {
 	dir, err := os.MkdirTemp("", "streambench")
 	if err != nil {
 		return nil, err
@@ -96,66 +125,85 @@ func StreamBench(ds *Dataset, workers, batch, queue int) ([]StreamBenchRow, erro
 	}
 	cfg := core.Config{Workers: workers, Batch: batch, Queue: queue}
 
-	var rows []StreamBenchRow
+	// best runs one row's measurement streamBenchIters times and keeps
+	// the fastest repeat (and that repeat's accumulator for the
+	// equivalence checks below).
+	best := func(measure func() (StreamBenchRow, genome.Accumulator, error)) (StreamBenchRow, genome.Accumulator, error) {
+		var bestRow StreamBenchRow
+		var bestAcc genome.Accumulator
+		for i := 0; i < streamBenchIters; i++ {
+			row, acc, err := measure()
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			if bestAcc == nil || row.WallNs < bestRow.WallNs {
+				bestRow, bestAcc = row, acc
+			}
+		}
+		return bestRow, bestAcc, nil
+	}
 
 	// Slice path: materialize, then map.
-	sliceAcc, err := genome.New(genome.Norm, ds.Ref.Len())
-	if err != nil {
-		return nil, err
-	}
-	{
+	sliceRow, sliceAcc, err := best(func() (StreamBenchRow, genome.Accumulator, error) {
+		acc, err := genome.New(genome.Norm, ds.Ref.Len())
+		if err != nil {
+			return StreamBenchRow{}, nil, err
+		}
 		eng, err := core.NewEngine(ds.Ref, cfg)
 		if err != nil {
-			return nil, err
+			return StreamBenchRow{}, nil, err
 		}
 		sampler := startHeapSampler()
 		start := time.Now()
 		reads, err := fastq.ReadFile(fq, fastq.Sanger)
 		if err != nil {
-			return nil, err
+			return StreamBenchRow{}, nil, err
 		}
-		if _, err := eng.MapReads(reads, sliceAcc, 0); err != nil {
-			return nil, err
+		if _, err := eng.MapReads(reads, acc, 0); err != nil {
+			return StreamBenchRow{}, nil, err
 		}
 		wall := time.Since(start)
-		rows = append(rows, StreamBenchRow{
+		return StreamBenchRow{
 			Path:          "slice",
 			Reads:         len(reads),
 			WallNs:        wall.Nanoseconds(),
 			ReadsPerSec:   float64(len(reads)) / wall.Seconds(),
 			PeakHeapBytes: sampler.Stop(),
 			Workers:       workers, Batch: batch, Queue: queue,
-		})
-	}
-
-	// Streaming path: bounded pipeline straight off the file.
-	streamAcc, err := genome.New(genome.Norm, ds.Ref.Len())
+		}, acc, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	{
+
+	// Streaming path: bounded pipeline straight off the file.
+	streamRow, streamAcc, err := best(func() (StreamBenchRow, genome.Accumulator, error) {
+		acc, err := genome.New(genome.Norm, ds.Ref.Len())
+		if err != nil {
+			return StreamBenchRow{}, nil, err
+		}
 		reg := obs.NewRegistry()
 		scfg := cfg
 		scfg.Metrics = reg
 		eng, err := core.NewEngine(ds.Ref, scfg)
 		if err != nil {
-			return nil, err
+			return StreamBenchRow{}, nil, err
 		}
 		sampler := startHeapSampler()
 		start := time.Now()
 		src, err := fastq.Open(fq, fastq.Sanger)
 		if err != nil {
-			return nil, err
+			return StreamBenchRow{}, nil, err
 		}
-		_, err = eng.MapReadsFrom(src, streamAcc, 0)
+		_, err = eng.MapReadsFrom(src, acc, 0)
 		if cerr := src.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return nil, err
+			return StreamBenchRow{}, nil, err
 		}
 		wall := time.Since(start)
-		rows = append(rows, StreamBenchRow{
+		return StreamBenchRow{
 			Path:              "stream",
 			Reads:             int(src.Records()),
 			WallNs:            wall.Nanoseconds(),
@@ -163,10 +211,107 @@ func StreamBench(ds *Dataset, workers, batch, queue int) ([]StreamBenchRow, erro
 			PeakHeapBytes:     sampler.Stop(),
 			PeakResidentReads: int64(reg.Gauge("stream.peak.resident.reads").Value()),
 			Workers:           workers, Batch: batch, Queue: queue,
-		})
+		}, acc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// The two rows must describe the same mapping result.
+	rows := []StreamBenchRow{sliceRow, streamRow}
+
+	// Streaming path with periodic durable checkpoints: the same
+	// pipeline plus a quiesce + snapshot + atomic file commit every
+	// ckptEvery reads — the number the <5% overhead budget is about.
+	if ckptEvery > 0 {
+		ckptRow, ckptAcc, err := best(func() (StreamBenchRow, genome.Accumulator, error) {
+			acc, err := genome.New(genome.Norm, ds.Ref.Len())
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			reg := obs.NewRegistry()
+			ccfg := cfg
+			ccfg.Metrics = reg
+			eng, err := core.NewEngine(ds.Ref, ccfg)
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			ckPath := filepath.Join(dir, "bench.ckpt")
+			fp := ckpt.Fingerprint{RefLen: int64(ds.Ref.Len())}
+			var writes, wrote int64
+			// Same overlap discipline as the production committer: the
+			// sink (running during the quiesce) only hands the snapshot
+			// off; the durable write proceeds while mapping resumes, one
+			// in flight.
+			pending := make(chan error, 1)
+			pending <- nil
+			policy := &core.CheckpointPolicy{
+				EveryReads: ckptEvery,
+				Sink: func(consumed int64, st core.Stats, state []byte) error {
+					if err := <-pending; err != nil {
+						return err
+					}
+					cp := &ckpt.Checkpoint{
+						Fingerprint:   fp,
+						ReadsConsumed: consumed,
+						Mapped:        st.Mapped,
+						Unmapped:      st.Unmapped,
+						Locations:     st.Locations,
+						State:         state,
+					}
+					go func() {
+						n, err := ckpt.WriteFile(ckPath, cp)
+						writes++
+						wrote += n
+						pending <- err
+					}()
+					return nil
+				},
+			}
+			sampler := startHeapSampler()
+			start := time.Now()
+			src, err := fastq.Open(fq, fastq.Sanger)
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			_, err = eng.MapReadsFromCkpt(src, acc, 0, policy)
+			if ferr := <-pending; err == nil { // final commit must be durable
+				err = ferr
+			}
+			if cerr := src.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			wall := time.Since(start)
+			return StreamBenchRow{
+				Path:              "stream+ckpt",
+				Reads:             int(src.Records()),
+				WallNs:            wall.Nanoseconds(),
+				ReadsPerSec:       float64(src.Records()) / wall.Seconds(),
+				PeakHeapBytes:     sampler.Stop(),
+				PeakResidentReads: int64(reg.Gauge("stream.peak.resident.reads").Value()),
+				Workers:           workers, Batch: batch, Queue: queue,
+				CkptEveryReads: ckptEvery,
+				CkptWrites:     writes,
+				CkptBytes:      wrote,
+				CkptStallFrac:  reg.Timer("stream.ckpt.stall.seconds").Sum() / wall.Seconds(),
+			}, acc, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ckptRow.CkptOverheadFrac = float64(ckptRow.WallNs-streamRow.WallNs) / float64(streamRow.WallNs)
+		rows = append(rows, ckptRow)
+		for pos := 0; pos < ds.Ref.Len(); pos += 211 {
+			a, b := sliceAcc.Total(pos), ckptAcc.Total(pos)
+			if diff := a - b; diff > 1e-3*(1+a) || diff < -1e-3*(1+a) {
+				return nil, fmt.Errorf("experiments: ckpt/slice accumulators diverge at %d: %v vs %v", pos, b, a)
+			}
+		}
+	}
+
+	// The slice and stream rows must describe the same mapping result.
 	for pos := 0; pos < ds.Ref.Len(); pos += 211 {
 		a, b := sliceAcc.Total(pos), streamAcc.Total(pos)
 		if diff := a - b; diff > 1e-3*(1+a) || diff < -1e-3*(1+a) {

@@ -81,12 +81,37 @@ func PhredFromErrorProb(e float64) uint8 {
 	return uint8(math.Round(q))
 }
 
+// TruncatedError reports a gzipped FASTQ stream that ended mid-member:
+// the compressed file was cut off (partial download, interrupted
+// write), as opposed to a clean file with a malformed record. Records
+// counts the complete reads decoded before the cut, so a caller can
+// tell how much of the input survived.
+type TruncatedError struct {
+	// Path is the input file ("" for an anonymous stream).
+	Path string
+	// Records is the number of complete records decoded before the cut.
+	Records int64
+}
+
+func (e *TruncatedError) Error() string {
+	where := e.Path
+	if where == "" {
+		where = "stream"
+	}
+	return fmt.Sprintf("fastq: truncated gzip input in %s after record %d", where, e.Records)
+}
+
+// Unwrap keeps errors.Is(err, io.ErrUnexpectedEOF) working for callers
+// that match on the underlying condition rather than the type.
+func (e *TruncatedError) Unwrap() error { return io.ErrUnexpectedEOF }
+
 // Reader streams reads from a FASTQ stream.
 type Reader struct {
 	br        *bufio.Reader
 	enc       Encoding
 	line      int
 	exhausted bool
+	records   int64
 }
 
 // NewReader returns a Reader decoding qualities with the given encoding.
@@ -154,8 +179,12 @@ func (r *Reader) Next() (*Read, error) {
 	if i := bytes.IndexAny(header[1:], " \t"); i >= 0 {
 		name = string(bytes.TrimSpace(header[1 : 1+i]))
 	}
+	r.records++
 	return &Read{Name: name, Seq: seq, Qual: qual}, nil
 }
+
+// Records returns the number of complete records decoded so far.
+func (r *Reader) Records() int64 { return r.records }
 
 // requireLine reads a line that must exist mid-record.
 func (r *Reader) requireLine(what string) ([]byte, error) {
@@ -172,12 +201,14 @@ func (r *Reader) readLine() ([]byte, error) {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("fastq: read: %v", err)
+		// %w so a gzip io.ErrUnexpectedEOF stays matchable — the file
+		// readers turn it into a TruncatedError naming the path.
+		return nil, fmt.Errorf("fastq: read: %w", err)
 	}
 	r.line++
 	line = bytes.TrimRight(line, "\r\n")
 	if err != nil && err != io.EOF {
-		return nil, fmt.Errorf("fastq: read: %v", err)
+		return nil, fmt.Errorf("fastq: read: %w", err)
 	}
 	return line, nil
 }
@@ -216,7 +247,8 @@ func ReadFile(path string, enc Encoding) ([]*Read, error) {
 	}
 	defer f.Close()
 	var r io.Reader = f
-	if strings.HasSuffix(path, ".gz") {
+	gzipped := strings.HasSuffix(path, ".gz")
+	if gzipped {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
 			return nil, fmt.Errorf("fastq: %s: %w", path, err)
@@ -224,16 +256,28 @@ func ReadFile(path string, enc Encoding) ([]*Read, error) {
 		defer gz.Close()
 		r = gz
 	}
-	reads, err := ReadAll(r, enc)
-	if err == nil {
-		bases := 0
-		for _, rd := range reads {
-			bases += len(rd.Seq)
+	fr := NewReader(r, enc)
+	var reads []*Read
+	for {
+		rd, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			break
 		}
-		obs.Default().Counter("io.fastq.read.records").Add(int64(len(reads)))
-		obs.Default().Counter("io.fastq.read.bases").Add(int64(bases))
+		if err != nil {
+			if gzipped && errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, &TruncatedError{Path: path, Records: fr.Records()}
+			}
+			return nil, err
+		}
+		reads = append(reads, rd)
 	}
-	return reads, err
+	bases := 0
+	for _, rd := range reads {
+		bases += len(rd.Seq)
+	}
+	obs.Default().Counter("io.fastq.read.records").Add(int64(len(reads)))
+	obs.Default().Counter("io.fastq.read.bases").Add(int64(bases))
+	return reads, nil
 }
 
 // Writer writes FASTQ records.

@@ -2,6 +2,7 @@ package fastq
 
 import (
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -52,6 +53,7 @@ type File struct {
 	f      *os.File
 	gz     *gzip.Reader
 	r      *Reader
+	path   string
 	opened time.Time
 
 	records, bases int64
@@ -63,7 +65,7 @@ func Open(path string, enc Encoding) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	fl := &File{f: f, opened: time.Now()}
+	fl := &File{f: f, path: path, opened: time.Now()}
 	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
@@ -82,6 +84,9 @@ func Open(path string, enc Encoding) (*File, error) {
 func (fl *File) Next() (*Read, error) {
 	rd, err := fl.r.Next()
 	if err != nil {
+		if fl.gz != nil && errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, &TruncatedError{Path: fl.path, Records: fl.records}
+		}
 		return nil, err
 	}
 	fl.records++

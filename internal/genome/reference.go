@@ -1,8 +1,10 @@
 package genome
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
+	"sync"
 
 	"gnumap/internal/dna"
 	"gnumap/internal/fasta"
@@ -31,6 +33,9 @@ const BoundarySpacer = 64
 type Reference struct {
 	contigs []Contig
 	concat  dna.Seq
+
+	digestOnce sync.Once
+	digest     [32]byte
 }
 
 // NewReference builds a Reference from FASTA records.
@@ -83,6 +88,30 @@ func (r *Reference) Seq() dna.Seq { return r.concat }
 
 // Contigs returns the contig table (aliased; read-only).
 func (r *Reference) Contigs() []Contig { return r.contigs }
+
+// Digest returns the SHA-256 of the concatenated reference sequence
+// (one byte per base code, spacers included). It identifies the exact
+// coordinate space a checkpoint's accumulator state indexes into;
+// computed once and cached.
+func (r *Reference) Digest() [32]byte {
+	r.digestOnce.Do(func() {
+		h := sha256.New()
+		buf := make([]byte, 0, 1<<16)
+		for i := 0; i < len(r.concat); i += cap(buf) {
+			end := i + cap(buf)
+			if end > len(r.concat) {
+				end = len(r.concat)
+			}
+			buf = buf[:0]
+			for _, c := range r.concat[i:end] {
+				buf = append(buf, byte(c))
+			}
+			h.Write(buf)
+		}
+		copy(r.digest[:], h.Sum(nil))
+	})
+	return r.digest
+}
 
 // Base returns the reference base at a global position.
 func (r *Reference) Base(pos int) (dna.Code, error) {

@@ -99,6 +99,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Resolved returns the config with every default filled in, so
+// equivalent configurations (zero value vs explicit defaults) render
+// identically — checkpoint fingerprints hash the resolved form.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 // Stats summarizes a calling run.
 type Stats struct {
 	// Tested is the number of positions with enough depth to test.
