@@ -8,6 +8,7 @@
 //	    [-diploid] [-alpha 0.05] [-fdr] [-memory norm|chardisc|centdisc] \
 //	    [-workers N] [-accum-mode auto|striped|sharded] [-call-workers N] \
 //	    [-stream=false] [-batch 64] [-queue 4] \
+//	    [-incremental-every 5000] \
 //	    [-nodes N -split read|genome [-tcp]] \
 //	    [-op-timeout 5s] [-heartbeat 100ms] [-chaos seed=42,drop=0.01] \
 //	    [-metrics-out metrics.json] [-pprof localhost:6060] \
@@ -38,6 +39,15 @@
 // aborts immediately). Checkpointing needs a replayable stream: it is
 // incompatible with -fit/-sam/-stream=false, and on clusters with
 // -split genome, -op-timeout, and -chaos.
+//
+// Incremental calling: -incremental-every N overlaps SNP calling with
+// mapping on the single-process streaming path — every N reads the
+// pipeline quiesces, only the genome regions written since the last
+// barrier are re-swept, and a provisional call set is produced; the
+// final VCF comes from the last incremental sweep and matches the
+// post-map sweep of an ordinary run. The first-provisional-call time is
+// reported on stderr. Incompatible with -checkpoint (both own the
+// quiesce cadence) and with clusters.
 package main
 
 import (
@@ -106,6 +116,7 @@ func run() error {
 		ckptPath   = flag.String("checkpoint", "", "write crash-safe checkpoints to this file (streaming runs only); SIGINT/SIGTERM drain, checkpoint, and exit with code 3")
 		ckptEvery  = flag.String("checkpoint-every", "5000", "checkpoint interval: an integer (reads) or a duration (e.g. 30s)")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint if the file exists (fresh start otherwise)")
+		incEvery   = flag.Int64("incremental-every", 0, "overlap SNP calling with mapping: quiesce and re-sweep written genome regions every N reads, reporting time to first provisional call (0 = off; single-process streaming only, incompatible with -checkpoint)")
 		metricsOut = flag.String("metrics-out", "", "write the merged metrics report as JSON to this file (and a summary to stderr)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -196,6 +207,20 @@ func run() error {
 			Every:         every,
 			Resume:        *resume,
 			StopRequested: stop.Load,
+		}
+	}
+	if *incEvery != 0 {
+		if *incEvery < 0 {
+			return fmt.Errorf("-incremental-every %d: read interval must be positive", *incEvery)
+		}
+		if !streaming {
+			return fmt.Errorf("-incremental-every requires the streaming path: drop -fit/-sam and keep -stream=true")
+		}
+		if *nodes > 1 {
+			return fmt.Errorf("-incremental-every runs single-process only (the cluster paths keep their own call flow)")
+		}
+		if *ckptPath != "" {
+			return fmt.Errorf("-incremental-every is incompatible with -checkpoint: both schedule the pipeline's quiesce barriers")
 		}
 	}
 	var reads []*gnumap.Read
@@ -312,14 +337,18 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		var incRes *gnumap.IncrementalResult
 		if streaming {
 			src, err := gnumap.OpenReads(*readsPath, enc)
 			if err != nil {
 				return err
 			}
-			if ckptCfg != nil {
+			switch {
+			case ckptCfg != nil:
 				stats, err = runCheckpointed(p, src, ckptCfg)
-			} else {
+			case *incEvery > 0:
+				stats, incRes, err = p.MapReadsFromIncremental(src, gnumap.IncrementalCallConfig{EveryReads: *incEvery})
+			default:
 				stats, err = p.MapReadsFrom(src)
 			}
 			if cerr := src.Close(); err == nil {
@@ -349,9 +378,19 @@ func run() error {
 				return err
 			}
 		}
-		calls, _, err = p.Call()
-		if err != nil {
-			return err
+		if incRes != nil {
+			// The incremental run's final sweep already produced the
+			// definitive call set; a second full sweep would be waste.
+			calls = incRes.Calls
+			if incRes.FirstCallSeconds > 0 {
+				fmt.Fprintf(os.Stderr, "incremental: first provisional call after %.2fs (%d reads); %d sweeps, %d regions swept, %d reused\n",
+					incRes.FirstCallSeconds, incRes.FirstCallReads, incRes.Sweeps, incRes.RegionsSwept, incRes.RegionsReused)
+			}
+		} else {
+			calls, _, err = p.Call()
+			if err != nil {
+				return err
+			}
 		}
 		cs := p.CoverageStats()
 		qcStats = &cs

@@ -381,7 +381,7 @@ func runStream(ds *experiments.Dataset, workers int, ckptEvery int64, outPath st
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-12s %8s %10s %12s %14s %14s %11s\n", "path", "reads", "wall", "reads/sec", "peak heap", "peak resident", "ckpt stall")
+	fmt.Printf("%-12s %8s %10s %12s %14s %14s %11s %11s\n", "path", "reads", "wall", "reads/sec", "peak heap", "peak resident", "ckpt stall", "first call")
 	for _, r := range rows {
 		resident := "all"
 		if r.PeakResidentReads > 0 {
@@ -391,9 +391,13 @@ func runStream(ds *experiments.Dataset, workers int, ckptEvery int64, outPath st
 		if r.CkptWrites > 0 {
 			stall = fmt.Sprintf("%.1f%%", 100*r.CkptStallFrac)
 		}
+		firstCall := "-"
+		if r.CallFirstSeconds > 0 {
+			firstCall = fmt.Sprintf("%.2fs", r.CallFirstSeconds)
+		}
 		wall := time.Duration(r.WallNs)
-		fmt.Printf("%-12s %8d %10s %12.0f %14s %14s %11s\n",
-			r.Path, r.Reads, wall.Round(msRound(wall)), r.ReadsPerSec, human(int64(r.PeakHeapBytes)), resident, stall)
+		fmt.Printf("%-12s %8d %10s %12.0f %14s %14s %11s %11s\n",
+			r.Path, r.Reads, wall.Round(msRound(wall)), r.ReadsPerSec, human(int64(r.PeakHeapBytes)), resident, stall, firstCall)
 	}
 	report := struct {
 		Generated string                       `json:"generated"`
@@ -421,23 +425,28 @@ func runStream(ds *experiments.Dataset, workers int, ckptEvery int64, outPath st
 // runCall measures the parallel post-map phase: the chunked LRT calling
 // sweep at 1/2/4/8 workers (asserting the call set never changes) and
 // AddRange throughput under striped vs sharded accumulation, writing
-// the machine-readable BENCH_call.json. On a single-CPU host the
-// measured speedups stay flat (goroutines timeshare one core); the
-// modeled column projects the measured serial fraction onto a host with
-// that many cores, following the Fig4/Fig5 convention.
+// the machine-readable BENCH_call.json. CallBench raises GOMAXPROCS to
+// the sweep maximum before timing — inheriting GOMAXPROCS=1 while
+// sweeping 1..8 workers was a bug that flattened every measured speedup
+// to ~1 — and stamps the effective value on each row. The modeled
+// column projects the measured serial fraction onto a host with that
+// many cores (Fig4/Fig5 convention); modeled-host caps that projection
+// at the CPUs actually present, which is what the measured column
+// should track.
 func runCall(ds *experiments.Dataset, workers int, outPath string) {
-	fmt.Printf("CALL — parallel calling sweep + accumulation strategies (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
 	callRows, accumRows, err := experiments.CallBench(ds, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-8s %10s %12s %8s %8s %9s %9s %10s\n",
-		"workers", "wall", "pos/sec", "calls", "tested", "measured", "modeled", "identical")
+	fmt.Printf("CALL — parallel calling sweep + accumulation strategies (GOMAXPROCS=%d, NumCPU=%d)\n",
+		callRows[0].GoMaxProcs, callRows[0].NumCPU)
+	fmt.Printf("%-8s %6s %10s %12s %8s %8s %9s %9s %9s %10s\n",
+		"workers", "procs", "wall", "pos/sec", "calls", "tested", "measured", "modeled", "host", "identical")
 	for _, r := range callRows {
 		wall := time.Duration(r.WallNs)
-		fmt.Printf("%-8d %10s %12.0f %8d %8d %8.2fx %8.2fx %10v\n",
-			r.Workers, wall.Round(msRound(wall)), r.PosPerSec, r.Calls, r.Tested,
-			r.MeasuredSpeedup, r.ModeledSpeedup, r.Identical)
+		fmt.Printf("%-8d %6d %10s %12.0f %8d %8d %8.2fx %8.2fx %8.2fx %10v\n",
+			r.Workers, r.GoMaxProcs, wall.Round(msRound(wall)), r.PosPerSec, r.Calls, r.Tested,
+			r.MeasuredSpeedup, r.ModeledSpeedup, r.ModeledSpeedupHost, r.Identical)
 	}
 	fmt.Printf("%-8s %11s %10s %12s %12s\n", "strategy", "goroutines", "wall", "adds/sec", "merge")
 	for _, r := range accumRows {
@@ -451,6 +460,7 @@ func runCall(ds *experiments.Dataset, workers int, outPath string) {
 		GoOS       string                      `json:"goos"`
 		GoArch     string                      `json:"goarch"`
 		GoMaxProcs int                         `json:"gomaxprocs"`
+		NumCPU     int                         `json:"numcpu"`
 		Input      string                      `json:"input"`
 		CallRows   []experiments.CallBenchRow  `json:"call_rows"`
 		AccumRows  []experiments.AccumBenchRow `json:"accum_rows"`
@@ -458,7 +468,8 @@ func runCall(ds *experiments.Dataset, workers int, outPath string) {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: callRows[0].GoMaxProcs,
+		NumCPU:     callRows[0].NumCPU,
 		Input:      fmt.Sprintf("%d positions, %d reads, map workers=%d", ds.Ref.Len(), len(ds.Reads), workers),
 		CallRows:   callRows,
 		AccumRows:  accumRows,

@@ -1,0 +1,121 @@
+package gnumap
+
+// Incremental calling overlapped with mapping (DESIGN.md §14). The
+// streaming pipeline already quiesces every writer when a checkpoint
+// policy asks it to; an incremental run hangs the snp.IncrementalCaller
+// off that barrier, so provisional SNP calls are available while
+// mapping is still running and the final call set reuses almost every
+// region sweep — time-to-first-call moves from "after mapping" to
+// "during mapping".
+
+import (
+	"errors"
+	"time"
+
+	"gnumap/internal/core"
+	"gnumap/internal/snp"
+)
+
+// IncrementalCallConfig configures Pipeline.MapReadsFromIncremental.
+type IncrementalCallConfig struct {
+	// EveryReads quiesces and re-sweeps after this many reads
+	// (default 5000, the checkpoint default cadence).
+	EveryReads int64
+	// RegionSize is the sweep granularity in genome positions
+	// (default 16384; see snp.NewIncrementalCaller).
+	RegionSize int
+	// OnProvisional, when non-nil, receives every provisional call set
+	// (calls valid until the next sweep; copy to retain). It runs while
+	// the pipeline is parked, so keep it cheap.
+	OnProvisional func(calls []SNPCall, st CallStats, consumed int64)
+}
+
+// IncrementalResult reports an incremental run's calling outcome.
+type IncrementalResult struct {
+	// Calls and CallStats are the final call set, computed from the
+	// fully-mapped state (bit-identical to Pipeline.Call on a striped
+	// accumulator; sharded runs carry the usual merge-order tolerance).
+	Calls     []SNPCall
+	CallStats CallStats
+	// FirstCallSeconds is the wall time from mapping start to the first
+	// provisional sweep that produced at least one call — by
+	// construction earlier than mapping completion when coverage
+	// arrives early enough (0 when no provisional sweep called
+	// anything). FirstCallReads is the source watermark at that sweep.
+	FirstCallSeconds float64
+	FirstCallReads   int64
+	// Sweeps / RegionsSwept / RegionsReused expose the incremental
+	// cache behaviour: reused counts regions whose cached candidates
+	// were still valid at a sweep.
+	Sweeps, RegionsSwept, RegionsReused int64
+}
+
+// MapReadsFromIncremental is MapReadsFrom with calling overlapped: the
+// pipeline quiesces every EveryReads reads, re-sweeps only the genome
+// regions written since the previous barrier, and emits a provisional
+// call set; after mapping completes a final sweep (touching only the
+// tail's regions) yields the definitive calls. Metrics (when enabled)
+// gain call.first.seconds / call.first.reads gauges and
+// call.inc.sweeps / call.inc.regions.swept / call.inc.regions.reused
+// counters.
+func (p *Pipeline) MapReadsFromIncremental(src ReadSource, inc IncrementalCallConfig) (MapStats, *IncrementalResult, error) {
+	if p.opts.Checkpoint != nil {
+		return MapStats{}, nil, errors.New("gnumap: incremental calling and checkpointing both schedule the pipeline's quiesce barrier; configure one or the other")
+	}
+	every := inc.EveryReads
+	if every <= 0 {
+		every = 5000
+	}
+	ic, err := snp.NewIncrementalCaller(p.ref, p.acc, inc.RegionSize, p.opts.Caller)
+	if err != nil {
+		return MapStats{}, nil, err
+	}
+	p.eng.SetRegionTracker(ic.Tracker())
+	defer p.eng.SetRegionTracker(nil)
+	res := &IncrementalResult{}
+	reg := p.opts.Engine.Metrics
+	start := time.Now()
+	pol := &core.CheckpointPolicy{
+		EveryReads: every,
+		Quiesced: func(consumed int64) error {
+			if err := ic.Sweep(); err != nil {
+				return err
+			}
+			calls, st, err := ic.Provisional()
+			if err != nil {
+				return err
+			}
+			if len(calls) > 0 && res.FirstCallSeconds == 0 {
+				res.FirstCallSeconds = time.Since(start).Seconds()
+				res.FirstCallReads = consumed
+				if reg != nil {
+					reg.Gauge("call.first.seconds").Set(res.FirstCallSeconds)
+					reg.Gauge("call.first.reads").Set(float64(consumed))
+				}
+			}
+			if inc.OnProvisional != nil {
+				inc.OnProvisional(calls, st, consumed)
+			}
+			return nil
+		},
+	}
+	st, err := p.eng.MapReadsFromCkpt(src, p.acc, 0, pol)
+	if err != nil && !errors.Is(err, ErrStopped) {
+		return st, nil, err
+	}
+	p.noteRun(st)
+	calls, cst, ferr := ic.Finalize()
+	if ferr != nil {
+		return st, nil, ferr
+	}
+	res.Calls, res.CallStats = calls, cst
+	res.Sweeps = ic.Sweeps()
+	res.RegionsSwept = ic.RegionsSwept()
+	res.RegionsReused = ic.RegionsReused()
+	if reg != nil {
+		reg.Counter("call.inc.sweeps").Add(res.Sweeps)
+		reg.Counter("call.inc.regions.swept").Add(res.RegionsSwept)
+		reg.Counter("call.inc.regions.reused").Add(res.RegionsReused)
+	}
+	return st, res, err
+}

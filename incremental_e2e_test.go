@@ -1,0 +1,122 @@
+package gnumap
+
+import (
+	"testing"
+
+	"gnumap/internal/genome"
+)
+
+// End-to-end identity: incremental calling overlapped with mapping must
+// finish with exactly the calls of the map-then-call flow, while
+// producing provisional results during mapping. Runs under -race in CI
+// (make race covers the root package).
+func TestIncrementalMappingIdentityE2E(t *testing.T) {
+	ds := dataset(t)
+	engCfg := EngineConfig{Workers: 4, Batch: 32, Queue: 2}
+	caller := CallerConfig{UseFDR: true}
+
+	p, err := NewPipeline(ds.Reference, Options{Engine: engCfg, Caller: caller})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MapReads(ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := p.Call()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline called no SNPs; dataset too weak for an identity test")
+	}
+
+	reg := NewMetricsRegistry()
+	incEng := engCfg
+	incEng.Metrics = reg
+	ip, err := NewPipeline(ds.Reference, Options{Engine: incEng, Caller: caller})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var provisional int
+	stats, res, err := ip.MapReadsFromIncremental(SliceReadSource(ds.Reads), IncrementalCallConfig{
+		EveryReads: 2_000,
+		OnProvisional: func(calls []SNPCall, _ CallStats, _ int64) {
+			if len(calls) > 0 {
+				provisional++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mapped+stats.Unmapped != int64(len(ds.Reads)) {
+		t.Fatalf("incremental stats cover %d reads, want %d", stats.Mapped+stats.Unmapped, len(ds.Reads))
+	}
+	sameCalls(t, "incremental", res.Calls, want)
+
+	// The overlap must actually happen: multiple sweeps, a first
+	// provisional call strictly before the last read, and region reuse
+	// once the early genome stops changing.
+	if res.Sweeps < 2 {
+		t.Errorf("only %d sweeps for %d reads at every-2000", res.Sweeps, len(ds.Reads))
+	}
+	if provisional == 0 {
+		t.Error("no provisional call set ever surfaced during mapping")
+	}
+	if res.FirstCallReads <= 0 || res.FirstCallReads >= int64(len(ds.Reads)) {
+		t.Errorf("first provisional call at %d reads, want inside (0, %d)", res.FirstCallReads, len(ds.Reads))
+	}
+	if res.FirstCallSeconds <= 0 {
+		t.Errorf("FirstCallSeconds = %v, want > 0", res.FirstCallSeconds)
+	}
+	if g := reg.Gauge("call.first.reads").Value(); g != float64(res.FirstCallReads) {
+		t.Errorf("call.first.reads gauge = %v, result says %d", g, res.FirstCallReads)
+	}
+}
+
+// MapReadsFromIncremental and -checkpoint share the quiesce barrier;
+// the pipeline must reject running both at once rather than let the
+// two schedules interleave.
+func TestIncrementalRejectsCheckpointing(t *testing.T) {
+	ds := dataset(t)
+	ck := &CheckpointConfig{Path: t.TempDir() + "/state.ckpt", EveryReads: 1_000}
+	p, err := NewPipeline(ds.Reference, Options{Engine: EngineConfig{Workers: 2, Batch: 8}, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.MapReadsFromIncremental(SliceReadSource(ds.Reads), IncrementalCallConfig{EveryReads: 500}); err == nil {
+		t.Fatal("incremental mapping accepted a checkpoint-configured pipeline")
+	}
+}
+
+// Checkpoint fingerprints must not move under the zero-means-default,
+// negative-means-disabled config convention: a zero caller config and
+// its explicit defaults fingerprint identically, resolving is
+// fingerprint-stable, and disabling a threshold (negative) is a real
+// configuration change that does alter the fingerprint.
+func TestFingerprintCallerConfigStability(t *testing.T) {
+	ds := ckptDataset(t)
+	ref, err := genome.NewReference(ds.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zero := fingerprintFor(ref, Options{})
+	explicit := fingerprintFor(ref, Options{Caller: CallerConfig{
+		Alpha: 0.05, MinDepth: 2, MinHetMinorFraction: 0.25,
+	}})
+	if zero != explicit {
+		t.Error("zero caller config and explicit defaults fingerprint differently")
+	}
+
+	neg := Options{Caller: CallerConfig{Alpha: -1, MinDepth: -3, MinHetMinorFraction: -0.5}}
+	fp := fingerprintFor(ref, neg)
+	resolved := neg
+	resolved.Caller = neg.Caller.Resolved()
+	if fp != fingerprintFor(ref, resolved) {
+		t.Error("resolving a negative caller config moved its fingerprint")
+	}
+	if fp == zero {
+		t.Error("disabled thresholds fingerprint like the defaults; resumes would silently change the call set")
+	}
+}

@@ -319,7 +319,16 @@ type Engine struct {
 	// Test-only: it lets the stop-latch and streaming error paths
 	// inject deterministic per-read failures.
 	testMapErr func(*fastq.Read) error
+	// tracker, when non-nil, counts accumulator writes per genome
+	// region so the incremental caller can re-sweep only regions that
+	// changed between quiesce points.
+	tracker *genome.RegionTracker
 }
+
+// SetRegionTracker registers a per-region write tracker: every accepted
+// accumulator contribution also touches the tracker. Set it before
+// mapping starts; nil disables tracking.
+func (e *Engine) SetRegionTracker(t *genome.RegionTracker) { e.tracker = t }
 
 // NewEngine indexes the full reference.
 func NewEngine(ref *genome.Reference, cfg Config) (*Engine, error) {
@@ -887,12 +896,16 @@ func (m *mapper) consumeRead(rd *fastq.Read, acc genome.Accumulator, accOffset i
 		tAcc = time.Now()
 	}
 	accepted := int64(0)
+	tracker := m.e.tracker
 	for i, loc := range locs {
 		if ws[i] == 0 {
 			continue
 		}
 		accepted++
 		acc.AddRange(loc.windowStart-accOffset, loc.contribs, ws[i])
+		if tracker != nil {
+			tracker.Touch(loc.windowStart-accOffset, len(loc.contribs))
+		}
 	}
 	atomic.AddInt64(&st.Locations, accepted)
 	if met != nil {

@@ -108,6 +108,14 @@ type CheckpointPolicy struct {
 	// true drains the pipeline, runs a final Sink, and makes
 	// MapReadsFromCkpt return ErrStopped.
 	StopRequested func() bool
+	// Quiesced, when non-nil, runs at every checkpoint barrier while
+	// the pipeline is still parked — the work queue drained, every
+	// worker idle, every accumulator write visible — and before the
+	// pipeline resumes. The incremental caller hangs its per-region
+	// sweep here. An error aborts the pipeline. A policy with only
+	// Quiesced set (no Sink) still quiesces on the usual triggers; the
+	// durable-state snapshot is skipped.
+	Quiesced func(consumed int64) error
 }
 
 // MapReadsFrom maps every read src yields, accumulating online into
@@ -210,7 +218,7 @@ func (e *Engine) MapReadsFromCkpt(src fastq.Source, acc genome.Accumulator, accO
 		// checkpoint quiesces, snapshots (stats + accumulator state),
 		// runs the sink, and resumes the pipeline. False aborts the run.
 		checkpoint := func() bool {
-			if policy == nil || policy.Sink == nil {
+			if policy == nil || (policy.Sink == nil && policy.Quiesced == nil) {
 				return true
 			}
 			if !quiesce() {
@@ -222,15 +230,28 @@ func (e *Engine) MapReadsFromCkpt(src fastq.Source, acc genome.Accumulator, accO
 				Unmapped:  atomic.LoadInt64(&st.Unmapped),
 				Locations: atomic.LoadInt64(&st.Locations),
 			}
-			state, err := genome.SnapshotState(acc)
+			var state []byte
+			var err error
+			if policy.Sink != nil {
+				state, err = genome.SnapshotState(acc)
+			}
+			if err == nil && policy.Quiesced != nil {
+				// Must run before release(): the hook reads the
+				// accumulator and needs the quiesced view.
+				if qerr := policy.Quiesced(consumed); qerr != nil {
+					err = fmt.Errorf("core: quiesced hook: %w", qerr)
+				}
+			}
 			release()
 			if err != nil {
 				latch(err)
 				return false
 			}
-			if err := policy.Sink(consumed, snap, state); err != nil {
-				latch(fmt.Errorf("core: checkpoint sink: %w", err))
-				return false
+			if policy.Sink != nil {
+				if err := policy.Sink(consumed, snap, state); err != nil {
+					latch(fmt.Errorf("core: checkpoint sink: %w", err))
+					return false
+				}
 			}
 			if sm != nil {
 				sm.ckptStall.ObserveDuration(time.Since(stallStart))

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,13 +28,24 @@ type CallBenchRow struct {
 	// WallNs is the CallAll wall time; PosPerSec the sweep throughput.
 	WallNs    int64   `json:"wall_ns"`
 	PosPerSec float64 `json:"pos_per_sec"`
-	// MeasuredSpeedup is serial wall / this wall. On a single-CPU host
-	// the goroutines serialize and this stays ~1 regardless of Workers;
-	// ModeledSpeedup is the Amdahl projection for a host with Workers
-	// independent cores, using the measured serial fraction (the global
-	// FinalizeCalls pass that cannot be chunked).
-	MeasuredSpeedup float64 `json:"measured_speedup"`
-	ModeledSpeedup  float64 `json:"modeled_speedup"`
+	// MeasuredSpeedup is serial wall / this wall. ModeledSpeedup is the
+	// Amdahl projection for a host with Workers independent cores, using
+	// the measured serial fraction (the global FinalizeCalls pass that
+	// cannot be chunked). ModeledSpeedupHost is the same projection
+	// capped at this host's physical parallelism, min(Workers, NumCPU) —
+	// the number MeasuredSpeedup should actually track, and the one CI
+	// gates against on small runners.
+	MeasuredSpeedup    float64 `json:"measured_speedup"`
+	ModeledSpeedup     float64 `json:"modeled_speedup"`
+	ModeledSpeedupHost float64 `json:"modeled_speedup_host"`
+	// GoMaxProcs is the effective runtime.GOMAXPROCS the row ran under.
+	// CallBench raises it to the sweep maximum before timing — sweeping
+	// 1..8 workers under an inherited GOMAXPROCS=1 timeshares one core
+	// and silently measures nothing — and errors out rather than emit a
+	// row whose Workers exceed it.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU is the host's physical parallelism (runtime.NumCPU).
+	NumCPU int `json:"numcpu"`
 	// Identical reports whether calls and stats matched the serial run
 	// exactly (DeepEqual).
 	Identical bool `json:"identical"`
@@ -53,16 +65,34 @@ type AccumBenchRow struct {
 	MergeNs int64 `json:"merge_ns"`
 }
 
+// callWorkerSweep is the CallWorkers ladder CallBench measures; the
+// first entry is the serial baseline.
+var callWorkerSweep = []int{1, 2, 4, 8}
+
 // CallBench maps the dataset once into a striped accumulator, then
 // measures the LRT calling sweep serially and at each worker count,
 // asserting the call set never changes. It also measures raw AddRange
 // throughput under both accumulation strategies at 1/4/8 goroutines.
 //
-// Single-CPU caveat: with GOMAXPROCS=1 the worker goroutines timeshare
-// one core, so MeasuredSpeedup ~1 and sharded accumulation pays its
-// merge without any contention to win back. The modeled columns follow
-// the repo's Fig4/Fig5 convention of reporting both honestly.
+// The sweep only measures anything if the scheduler can actually run
+// the workers in parallel: an inherited GOMAXPROCS below the sweep
+// maximum (the snpbench default before this was fixed) timeshares the
+// goroutines on too few threads and every measured speedup flattens to
+// ~1 even on a big host. CallBench raises GOMAXPROCS to the sweep
+// maximum for the duration (restoring it on return), stamps the
+// effective value on every row, and fails loudly rather than emit a
+// row whose worker count exceeds it. On a host with fewer CPUs than
+// the sweep maximum the measured column is still capped by the
+// hardware; ModeledSpeedupHost is the honest target for that case.
 func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []AccumBenchRow, error) {
+	maxW := callWorkerSweep[len(callWorkerSweep)-1]
+	if prev := runtime.GOMAXPROCS(0); prev < maxW {
+		runtime.GOMAXPROCS(maxW)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	ncpu := runtime.NumCPU()
+
 	eng, err := core.NewEngine(ds.Ref, core.Config{Workers: workers})
 	if err != nil {
 		return nil, nil, err
@@ -86,7 +116,7 @@ func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []AccumBenchRow, error
 	// parallelizes, the finalize (sort + one global BH pass) cannot be
 	// chunked and is the Amdahl serial fraction.
 	sweepStart := time.Now()
-	cands, _, err := snp.CollectRange(ds.Ref, acc, 0, 0, ds.Ref.Len(), ccfg)
+	cands, sweepSt, err := snp.CollectRange(ds.Ref, acc, 0, 0, ds.Ref.Len(), ccfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -97,16 +127,36 @@ func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []AccumBenchRow, error
 		return nil, nil, err
 	}
 	finWall := time.Since(finStart)
+	// Mirror CallRange: Tested is the sweep's count (prescreened
+	// positions included), not the candidate count FinalizeCalls sees.
+	wantSt.Tested = sweepSt.Tested
 	serialWall := sweepWall + finWall
 	serialFrac := finWall.Seconds() / serialWall.Seconds()
+
+	// hostModel caps the Amdahl projection at the host's physical
+	// parallelism: workers beyond NumCPU timeshare and add nothing.
+	hostModel := func(w int) float64 {
+		p := w
+		if ncpu < p {
+			p = ncpu
+		}
+		if p < 1 {
+			p = 1
+		}
+		return 1 / (serialFrac + (1-serialFrac)/float64(p))
+	}
 
 	n := ds.Ref.Len()
 	callRows := []CallBenchRow{{
 		Workers: 1, Positions: n, Calls: len(wantCalls), Tested: wantSt.Tested,
 		WallNs: serialWall.Nanoseconds(), PosPerSec: float64(n) / serialWall.Seconds(),
-		MeasuredSpeedup: 1, ModeledSpeedup: 1, Identical: true,
+		MeasuredSpeedup: 1, ModeledSpeedup: 1, ModeledSpeedupHost: 1,
+		GoMaxProcs: procs, NumCPU: ncpu, Identical: true,
 	}}
-	for _, w := range []int{2, 4, 8} {
+	for _, w := range callWorkerSweep[1:] {
+		if w > procs {
+			return nil, nil, fmt.Errorf("experiments: sweep workers=%d exceed GOMAXPROCS=%d: the row would timeshare and measure nothing", w, procs)
+		}
 		cfg := ccfg
 		cfg.CallWorkers = w
 		start := time.Now()
@@ -122,9 +172,11 @@ func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []AccumBenchRow, error
 		callRows = append(callRows, CallBenchRow{
 			Workers: w, Positions: n, Calls: len(calls), Tested: st.Tested,
 			WallNs: wall.Nanoseconds(), PosPerSec: float64(n) / wall.Seconds(),
-			MeasuredSpeedup: serialWall.Seconds() / wall.Seconds(),
-			ModeledSpeedup:  1 / (serialFrac + (1-serialFrac)/float64(w)),
-			Identical:       identical,
+			MeasuredSpeedup:    serialWall.Seconds() / wall.Seconds(),
+			ModeledSpeedup:     1 / (serialFrac + (1-serialFrac)/float64(w)),
+			ModeledSpeedupHost: hostModel(w),
+			GoMaxProcs:         procs, NumCPU: ncpu,
+			Identical: identical,
 		})
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -11,7 +12,9 @@ import (
 	"gnumap/internal/core"
 	"gnumap/internal/fastq"
 	"gnumap/internal/genome"
+	"gnumap/internal/lrt"
 	"gnumap/internal/obs"
+	"gnumap/internal/snp"
 )
 
 // StreamBenchRow is one mapping-path measurement, emitted by snpbench
@@ -56,6 +59,21 @@ type StreamBenchRow struct {
 	// time relative to the best "stream" row. Treat ±10% as measurement
 	// noise on a shared host.
 	CkptOverheadFrac float64 `json:"ckpt_overhead_frac,omitempty"`
+	// Incremental-calling fields, set only on the "stream+inc" row
+	// (mapping with the SNP caller overlapped at quiesce barriers).
+	// CallFirstSeconds is the wall time from mapping start to the first
+	// provisional sweep that produced at least one call — the
+	// time-to-first-call headline, by construction smaller than the
+	// row's total WallNs when coverage arrives before the stream ends.
+	// CallFirstReads is the source watermark at that sweep; the Inc*
+	// fields expose the per-region sweep cache behaviour and the final
+	// call count (asserted identical to the one-shot post-map sweep).
+	CallFirstSeconds float64 `json:"call_first_seconds,omitempty"`
+	CallFirstReads   int64   `json:"call_first_reads,omitempty"`
+	IncSweeps        int64   `json:"inc_sweeps,omitempty"`
+	IncRegionsSwept  int64   `json:"inc_regions_swept,omitempty"`
+	IncRegionsReused int64   `json:"inc_regions_reused,omitempty"`
+	IncCalls         int     `json:"inc_calls,omitempty"`
 }
 
 // heapSampler polls the live heap on a short period and keeps the
@@ -104,10 +122,12 @@ func (s *heapSampler) Stop() uint64 {
 // the true cost from above.
 const streamBenchIters = 3
 
-// StreamBench maps the dataset from an on-disk FASTQ three ways —
+// StreamBench maps the dataset from an on-disk FASTQ four ways —
 // materialized (ReadFile + MapReads), through the bounded streaming
-// pipeline (Open + MapReadsFrom), and streaming with periodic durable
-// checkpoints every ckptEvery reads (0 skips the row) — and reports
+// pipeline (Open + MapReadsFrom), streaming with periodic durable
+// checkpoints every ckptEvery reads, and streaming with incremental
+// SNP calling overlapped at the same cadence (ckptEvery 0 skips both
+// extra rows) — and reports
 // wall time, throughput, sampled peak heap, the pipeline's
 // resident-reads high-water mark, and the checkpointing overhead.
 // Every row is the best of streamBenchIters repeats, and identical
@@ -309,6 +329,97 @@ func StreamBench(ds *Dataset, workers, batch, queue int, ckptEvery int64) ([]Str
 				return nil, fmt.Errorf("experiments: ckpt/slice accumulators diverge at %d: %v vs %v", pos, b, a)
 			}
 		}
+	}
+
+	// Streaming path with calling overlapped: the same pipeline plus an
+	// incremental per-region SNP sweep hung off a quiesce barrier every
+	// ckptEvery reads. The row's headline is CallFirstSeconds —
+	// provisional calls exist while mapping is still running, so it must
+	// land strictly inside the row's wall time — and the final call set
+	// is asserted identical to the one-shot post-map sweep over the same
+	// accumulator.
+	if ckptEvery > 0 {
+		callCfg := snp.Config{Ploidy: lrt.Diploid, UseFDR: true}
+		incRow, _, err := best(func() (StreamBenchRow, genome.Accumulator, error) {
+			acc, err := genome.New(genome.Norm, ds.Ref.Len())
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			reg := obs.NewRegistry()
+			icfg := cfg
+			icfg.Metrics = reg
+			eng, err := core.NewEngine(ds.Ref, icfg)
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			ic, err := snp.NewIncrementalCaller(ds.Ref, acc, 0, callCfg)
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			eng.SetRegionTracker(ic.Tracker())
+			row := StreamBenchRow{
+				Path: "stream+inc", Workers: workers, Batch: batch, Queue: queue,
+				CkptEveryReads: ckptEvery,
+			}
+			sampler := startHeapSampler()
+			start := time.Now()
+			policy := &core.CheckpointPolicy{
+				EveryReads: ckptEvery,
+				Quiesced: func(consumed int64) error {
+					if err := ic.Sweep(); err != nil {
+						return err
+					}
+					calls, _, err := ic.Provisional()
+					if err != nil {
+						return err
+					}
+					if len(calls) > 0 && row.CallFirstSeconds == 0 {
+						row.CallFirstSeconds = time.Since(start).Seconds()
+						row.CallFirstReads = consumed
+					}
+					return nil
+				},
+			}
+			src, err := fastq.Open(fq, fastq.Sanger)
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			_, err = eng.MapReadsFromCkpt(src, acc, 0, policy)
+			if cerr := src.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			calls, _, err := ic.Finalize()
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			// Wall covers everything through the definitive call set; the
+			// verification sweep below is excluded.
+			wall := time.Since(start)
+			want, _, err := snp.CallAll(ds.Ref, acc, callCfg)
+			if err != nil {
+				return StreamBenchRow{}, nil, err
+			}
+			if !reflect.DeepEqual(calls, want) {
+				return StreamBenchRow{}, nil, fmt.Errorf("experiments: incremental final calls diverge from one-shot sweep (%d vs %d)", len(calls), len(want))
+			}
+			row.Reads = int(src.Records())
+			row.WallNs = wall.Nanoseconds()
+			row.ReadsPerSec = float64(src.Records()) / wall.Seconds()
+			row.PeakHeapBytes = sampler.Stop()
+			row.PeakResidentReads = int64(reg.Gauge("stream.peak.resident.reads").Value())
+			row.IncSweeps = ic.Sweeps()
+			row.IncRegionsSwept = ic.RegionsSwept()
+			row.IncRegionsReused = ic.RegionsReused()
+			row.IncCalls = len(calls)
+			return row, acc, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, incRow)
 	}
 
 	// The slice and stream rows must describe the same mapping result.

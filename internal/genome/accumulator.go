@@ -151,10 +151,19 @@ func clampRange(start, n, length int) (from, to, zsFrom int, ok bool) {
 	return from, to, zsFrom, true
 }
 
-// normAcc is the NORM layout: a flat float32 array, five per position.
+// normAcc is the NORM layout: a flat float32 array, five per position,
+// stored plane-major (struct of arrays): channel k occupies
+// data[k·length : (k+1)·length]. The post-map LRT sweep, pileup, and
+// coverage paths stream whole channel planes through a lock-free frozen
+// view (Freeze), so the read side is sequential over contiguous memory
+// instead of strided through a position-major interleave. Per-cell
+// arithmetic is unchanged by the transpose — each cell accumulates the
+// same float32 additions in the same order — so the layouts are
+// bit-identical in value. The serialized wire format (State) remains
+// position-major for compatibility; see state.go.
 type normAcc struct {
 	length int
-	data   []float32 // len = 5·length
+	data   []float32 // len = 5·length, plane-major
 	locks  []sync.Mutex
 }
 
@@ -169,6 +178,11 @@ func newNormAcc(length int) *normAcc {
 func (a *normAcc) Len() int   { return a.length }
 func (a *normAcc) Mode() Mode { return Norm }
 
+// plane returns channel k's contiguous per-position slice.
+func (a *normAcc) plane(k int) []float32 {
+	return a.data[k*a.length : (k+1)*a.length]
+}
+
 func (a *normAcc) AddRange(start int, zs []Vec, weight float64) {
 	from, to, zsFrom, ok := clampRange(start, len(zs), a.length)
 	if !ok {
@@ -176,11 +190,11 @@ func (a *normAcc) AddRange(start int, zs []Vec, weight float64) {
 	}
 	lkFirst, lkLast := lockRange(a.locks, from, to)
 	defer unlockRange(a.locks, lkFirst, lkLast)
-	for pos := from; pos < to; pos++ {
-		z := &zs[zsFrom+pos-from]
-		base := pos * dna.NumChannels
-		for k := 0; k < dna.NumChannels; k++ {
-			a.data[base+k] += float32(weight * z[k])
+	for k := 0; k < dna.NumChannels; k++ {
+		pk := a.plane(k)
+		zi := zsFrom - from
+		for pos := from; pos < to; pos++ {
+			pk[pos] += float32(weight * zs[zi+pos][k])
 		}
 	}
 }
@@ -189,9 +203,8 @@ func (a *normAcc) Vector(pos int) Vec {
 	lkFirst, lkLast := lockRange(a.locks, pos, pos+1)
 	defer unlockRange(a.locks, lkFirst, lkLast)
 	var v Vec
-	base := pos * dna.NumChannels
 	for k := 0; k < dna.NumChannels; k++ {
-		v[k] = float64(a.data[base+k])
+		v[k] = float64(a.data[k*a.length+pos])
 	}
 	return v
 }
@@ -222,12 +235,13 @@ func (a *normAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// RawState exposes the flat channel array for serialization by the
-// cluster transport. The returned slice aliases live state; callers
-// must quiesce writers first.
+// RawState exposes the flat channel array in the accumulator's internal
+// (plane-major) layout. The returned slice aliases live state; callers
+// must quiesce writers first, and must only feed it back to LoadState —
+// the cross-process wire format is State (position-major; see state.go).
 func (a *normAcc) RawState() []float32 { return a.data }
 
-// LoadState overwrites the accumulator from a serialized flat array.
+// LoadState overwrites the accumulator from a RawState array.
 func (a *normAcc) LoadState(data []float32) error {
 	if len(data) != len(a.data) {
 		return fmt.Errorf("genome: NORM state length %d, want %d", len(data), len(a.data))

@@ -1,0 +1,209 @@
+package genome
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: a frozen view is bit-identical to the locked interface on
+// every position — Vector and Total — for every mode, including after
+// a Merge and after a (non-destructive) state snapshot. The post-map
+// sweep swaps the locked reads for a Frozen view on exactly this
+// guarantee.
+func TestFrozenBitIdenticalToAccumulator(t *testing.T) {
+	const L = 2048
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			acc := feed(t, mode, L, randomStream(rng, 600, L, L/2))
+
+			requireFrozenEqual(t, acc, "after feed")
+
+			// Merge more state in, snapshot, and re-check: freezing must
+			// track every mutation path, not just AddRange.
+			other := feed(t, mode, L, randomStream(rng, 300, L, L/2))
+			if err := acc.Merge(other); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			if _, err := SnapshotState(acc); err != nil {
+				t.Fatalf("SnapshotState: %v", err)
+			}
+			requireFrozenEqual(t, acc, "after merge+snapshot")
+		})
+	}
+}
+
+// requireFrozenEqual checks Freeze(acc) against acc position by
+// position, requiring exact float equality.
+func requireFrozenEqual(t *testing.T, acc Accumulator, when string) {
+	t.Helper()
+	fz, err := Freeze(acc)
+	if err != nil {
+		t.Fatalf("%s: Freeze: %v", when, err)
+	}
+	if fz.Len() != acc.Len() {
+		t.Fatalf("%s: frozen Len = %d, want %d", when, fz.Len(), acc.Len())
+	}
+	for pos := 0; pos < acc.Len(); pos++ {
+		if got, want := fz.Vector(pos), acc.Vector(pos); got != want {
+			t.Fatalf("%s: Vector(%d) = %v via frozen view, %v via locks", when, pos, got, want)
+		}
+		if got, want := fz.Total(pos), acc.Total(pos); got != want {
+			t.Fatalf("%s: Total(%d) = %v via frozen view, %v via locks", when, pos, got, want)
+		}
+	}
+}
+
+// Freezing a sharded accumulator combines it (the same semantics as its
+// lazy Vector path) and the view then matches the combined reads.
+func TestFrozenSharded(t *testing.T) {
+	const L = 1024
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, err := NewSharded(mode, L)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(13))
+			shard := s.WorkerShard()
+			for _, ev := range randomStream(rng, 200, L, L/2) {
+				shard.AddRange(ev.start, ev.zs, ev.weight)
+			}
+			for _, ev := range randomStream(rng, 100, L, L/2) {
+				s.AddRange(ev.start, ev.zs, ev.weight)
+			}
+			requireFrozenEqual(t, s, "sharded")
+		})
+	}
+}
+
+func TestFrozenPlaneAccessors(t *testing.T) {
+	norm, err := New(Norm, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm.AddRange(3, []Vec{{0.5, 0.2, 0.2, 0.1, 0}}, 2)
+	fz, err := Freeze(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fz.Mode() != Norm {
+		t.Fatalf("Mode = %v, want Norm", fz.Mode())
+	}
+	if fz.TotalPlane() != nil {
+		t.Error("NORM view has a total plane")
+	}
+	for k := 0; k < 5; k++ {
+		p := fz.Plane(k)
+		if len(p) != 64 {
+			t.Fatalf("Plane(%d) length %d, want 64", k, len(p))
+		}
+		if got, want := float64(p[3]), norm.Vector(3)[k]; got != want {
+			t.Errorf("Plane(%d)[3] = %v, want %v", k, got, want)
+		}
+	}
+
+	cd, err := New(CharDisc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.AddRange(3, []Vec{{0.5, 0.2, 0.2, 0.1, 0}}, 2)
+	cfz, err := Freeze(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfz.Plane(0) != nil {
+		t.Error("CharDisc view has channel planes")
+	}
+	tp := cfz.TotalPlane()
+	if len(tp) != 64 {
+		t.Fatalf("TotalPlane length %d, want 64", len(tp))
+	}
+	if got, want := float64(tp[3]), cd.Total(3); got != want {
+		t.Errorf("TotalPlane[3] = %v, want %v", got, want)
+	}
+}
+
+// SnapshotInto must be deterministic: two snapshots with no writes in
+// between are bit-identical, and after writes confined to one area the
+// untouched positions keep their exact previous values. The incremental
+// caller's region cache is valid only because of this.
+func TestSnapshotIntoDeterministic(t *testing.T) {
+	const L = 1500
+	s, err := NewSharded(Norm, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	shardA := s.WorkerShard()
+	shardB := s.WorkerShard()
+	for _, ev := range randomStream(rng, 400, L, L/2) {
+		shardA.AddRange(ev.start, ev.zs, ev.weight)
+	}
+	for _, ev := range randomStream(rng, 400, L, L/2) {
+		shardB.AddRange(ev.start, ev.zs, ev.weight)
+	}
+
+	scratch, err := CloneEmpty(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SnapshotInto(s, scratch); err != nil {
+		t.Fatalf("SnapshotInto: %v", err)
+	}
+	first := make([]Vec, L)
+	for pos := 0; pos < L; pos++ {
+		first[pos] = scratch.Vector(pos)
+	}
+
+	// No writes in between: the second snapshot must be bit-identical.
+	if err := SnapshotInto(s, scratch); err != nil {
+		t.Fatalf("SnapshotInto: %v", err)
+	}
+	for pos := 0; pos < L; pos++ {
+		if got := scratch.Vector(pos); got != first[pos] {
+			t.Fatalf("idle re-snapshot changed position %d: %v -> %v", pos, first[pos], got)
+		}
+	}
+
+	// Shards must still be live (non-destructive) ...
+	if got := s.ShardCount(); got != 2 {
+		t.Fatalf("SnapshotInto released shards: ShardCount = %d, want 2", got)
+	}
+	// ... and writes confined to the front must leave the back half's
+	// snapshot values bit-identical.
+	shardA.AddRange(10, []Vec{{0.9, 0.1, 0, 0, 0}}, 1)
+	if err := SnapshotInto(s, scratch); err != nil {
+		t.Fatalf("SnapshotInto: %v", err)
+	}
+	for pos := 100; pos < L; pos++ {
+		if got := scratch.Vector(pos); got != first[pos] {
+			t.Fatalf("write at 10 changed snapshot position %d: %v -> %v", pos, first[pos], got)
+		}
+	}
+	if got := scratch.Vector(10); got == first[10] {
+		t.Fatal("write at 10 not visible in the new snapshot")
+	}
+}
+
+// SnapshotInto on a plain (non-sharded) accumulator is a reset + merge:
+// the scratch equals the source exactly, and a stale scratch is fully
+// overwritten.
+func TestSnapshotIntoStriped(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			const L = 256
+			rng := rand.New(rand.NewSource(19))
+			acc := feed(t, mode, L, randomStream(rng, 150, L, L/2))
+			scratch := feed(t, mode, L, randomStream(rng, 50, L, L/2)) // stale content
+			if err := SnapshotInto(acc, scratch); err != nil {
+				t.Fatalf("SnapshotInto: %v", err)
+			}
+			for pos := 0; pos < L; pos++ {
+				if got, want := scratch.Vector(pos), acc.Vector(pos); got != want {
+					t.Fatalf("position %d: snapshot %v, source %v", pos, got, want)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"gnumap/internal/dna"
 )
 
 // Stateful is implemented by accumulators that can serialize their
@@ -95,18 +97,41 @@ func decodeState(data []byte, tag byte, length int, f []float32, b []uint8) erro
 	return nil
 }
 
-// State implements Stateful.
+// State implements Stateful. The wire format predates the plane-major
+// in-memory layout and stays position-major (five consecutive channel
+// floats per position), so state blobs — including checkpoint files
+// written before the transpose — remain byte-compatible across
+// versions. The transpose costs one pass over an array the encoder
+// copies anyway.
 func (a *normAcc) State() ([]byte, error) {
 	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
 	defer unlockRange(a.locks, lkFirst, lkLast)
-	return encodeState('N', a.length, a.data, nil), nil
+	inter := make([]float32, len(a.data))
+	for k := 0; k < dna.NumChannels; k++ {
+		pk := a.plane(k)
+		for pos, v := range pk {
+			inter[pos*dna.NumChannels+k] = v
+		}
+	}
+	return encodeState('N', a.length, inter, nil), nil
 }
 
-// LoadStateBytes implements Stateful.
+// LoadStateBytes implements Stateful (position-major wire format; see
+// State).
 func (a *normAcc) LoadStateBytes(data []byte) error {
 	lkFirst, lkLast := lockRange(a.locks, 0, a.length)
 	defer unlockRange(a.locks, lkFirst, lkLast)
-	return decodeState(data, 'N', a.length, a.data, nil)
+	inter := make([]float32, len(a.data))
+	if err := decodeState(data, 'N', a.length, inter, nil); err != nil {
+		return err
+	}
+	for k := 0; k < dna.NumChannels; k++ {
+		pk := a.plane(k)
+		for pos := range pk {
+			pk[pos] = inter[pos*dna.NumChannels+k]
+		}
+	}
+	return nil
 }
 
 // State implements Stateful.
@@ -176,13 +201,68 @@ func (s *Sharded) snapshotState() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := scratch.Merge(s.base); err != nil {
+	if err := s.snapshotIntoLocked(scratch); err != nil {
 		return nil, err
+	}
+	return scratch.(Stateful).State()
+}
+
+// snapshotIntoLocked merges the base and every live shard into scratch,
+// in a fixed order (base first, then shards in registration order).
+// Incremental calling depends on this order being deterministic across
+// a run: a genome region untouched between two snapshots then holds
+// bit-identical values in both, so its cached sweep result stays valid.
+func (s *Sharded) snapshotIntoLocked(scratch Accumulator) error {
+	if err := scratch.Merge(s.base); err != nil {
+		return err
 	}
 	for _, sh := range s.shards {
 		if err := scratch.Merge(sh); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return scratch.(Stateful).State()
+	return nil
+}
+
+// reset zeroes an accumulator's per-position state in place, so a
+// scratch copy can be reused across snapshots without reallocating.
+func reset(acc Accumulator) error {
+	switch a := acc.(type) {
+	case *normAcc:
+		clear(a.data)
+	case *charDiscAcc:
+		clear(a.total)
+		clear(a.frac)
+	case *centDiscAcc:
+		clear(a.total)
+		clear(a.code)
+	default:
+		return fmt.Errorf("genome: %T cannot be reset", acc)
+	}
+	return nil
+}
+
+// SnapshotInto overwrites scratch with acc's full current state WITHOUT
+// consuming acc's outstanding worker shards — the non-destructive read
+// the incremental caller uses mid-run (a destructive Combine would
+// orphan the shard references mapping workers keep across batches, as
+// SnapshotState documents). scratch must be a plain (non-sharded)
+// accumulator of the same mode and length; writers must be quiesced for
+// the duration of the call. For a non-sharded acc this is a plain copy
+// (merge into zeroed state), bit-identical to acc for NORM and
+// CENTDISC; CHARDISC re-quantizes byte fractions exactly as every
+// existing snapshot/merge path does.
+func SnapshotInto(acc, scratch Accumulator) error {
+	if scratch == nil {
+		return fmt.Errorf("genome: nil snapshot scratch")
+	}
+	if err := reset(scratch); err != nil {
+		return err
+	}
+	if s, ok := acc.(*Sharded); ok {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.snapshotIntoLocked(scratch)
+	}
+	return scratch.Merge(acc)
 }

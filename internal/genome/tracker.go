@@ -1,0 +1,71 @@
+package genome
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RegionTracker counts accumulator writes per fixed-size genome region,
+// so the incremental caller can tell which regions changed between two
+// quiesce points: a region whose count is equal in two snapshots
+// received no writes in between, so its accumulator state — and
+// therefore its cached sweep result — is unchanged. Counters are plain
+// atomics; Touch sits on the mapper's per-alignment hot path and adds
+// one atomic add per spanned region.
+type RegionTracker struct {
+	length     int
+	regionSize int
+	counts     []atomic.Int64
+}
+
+// NewRegionTracker tracks writes to a genome of the given length in
+// regions of regionSize positions (the last region may be short).
+func NewRegionTracker(length, regionSize int) (*RegionTracker, error) {
+	if length <= 0 || regionSize <= 0 {
+		return nil, fmt.Errorf("genome: region tracker length %d, region size %d", length, regionSize)
+	}
+	n := (length + regionSize - 1) / regionSize
+	return &RegionTracker{length: length, regionSize: regionSize, counts: make([]atomic.Int64, n)}, nil
+}
+
+// Regions returns the number of tracked regions.
+func (t *RegionTracker) Regions() int { return len(t.counts) }
+
+// RegionSize returns the region width in positions.
+func (t *RegionTracker) RegionSize() int { return t.regionSize }
+
+// Bounds returns region i's [from, to) position range.
+func (t *RegionTracker) Bounds(i int) (from, to int) {
+	from = i * t.regionSize
+	to = from + t.regionSize
+	if to > t.length {
+		to = t.length
+	}
+	return from, to
+}
+
+// Touch records a write of n positions starting at start (clamped to
+// the genome, mirroring AddRange's out-of-range tolerance).
+func (t *RegionTracker) Touch(start, n int) {
+	from, to, _, ok := clampRange(start, n, t.length)
+	if !ok {
+		return
+	}
+	for r := from / t.regionSize; r <= (to-1)/t.regionSize; r++ {
+		t.counts[r].Add(1)
+	}
+}
+
+// Snapshot copies the current per-region write counts into dst
+// (allocating when dst is short). Coherent only while writers are
+// quiesced, like every other snapshot in this package.
+func (t *RegionTracker) Snapshot(dst []int64) []int64 {
+	if cap(dst) < len(t.counts) {
+		dst = make([]int64, len(t.counts))
+	}
+	dst = dst[:len(t.counts)]
+	for i := range t.counts {
+		dst[i] = t.counts[i].Load()
+	}
+	return dst
+}

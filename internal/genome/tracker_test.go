@@ -1,0 +1,89 @@
+package genome
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegionTrackerValidation(t *testing.T) {
+	if _, err := NewRegionTracker(0, 10); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := NewRegionTracker(100, 0); err == nil {
+		t.Error("zero region size accepted")
+	}
+}
+
+func TestRegionTrackerBounds(t *testing.T) {
+	tr, err := NewRegionTracker(100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Regions(); got != 4 {
+		t.Fatalf("Regions = %d, want 4", got)
+	}
+	if got := tr.RegionSize(); got != 30 {
+		t.Fatalf("RegionSize = %d, want 30", got)
+	}
+	cases := [][3]int{{0, 0, 30}, {1, 30, 60}, {2, 60, 90}, {3, 90, 100}}
+	for _, c := range cases {
+		from, to := tr.Bounds(c[0])
+		if from != c[1] || to != c[2] {
+			t.Errorf("Bounds(%d) = [%d, %d), want [%d, %d)", c[0], from, to, c[1], c[2])
+		}
+	}
+}
+
+func TestRegionTrackerTouch(t *testing.T) {
+	tr, err := NewRegionTracker(100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Touch(5, 10)   // region 0 only
+	tr.Touch(25, 10)  // spans regions 0 and 1
+	tr.Touch(95, 50)  // clamped to [95, 100): region 3
+	tr.Touch(-5, 3)   // entirely before the genome: no-op
+	tr.Touch(200, 10) // entirely past the genome: no-op
+	tr.Touch(-5, 8)   // clamped to [0, 3): region 0
+	got := tr.Snapshot(nil)
+	want := []int64{3, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+	// Snapshot reuses a big-enough dst without allocating a new one.
+	dst := make([]int64, 4)
+	if got2 := tr.Snapshot(dst); &got2[0] != &dst[0] {
+		t.Error("Snapshot reallocated despite sufficient dst capacity")
+	}
+}
+
+// Touch is called concurrently from every mapping worker; counts must
+// not be lost (the test runs under -race in the CI gate as well).
+func TestRegionTrackerConcurrentTouch(t *testing.T) {
+	tr, err := NewRegionTracker(10_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Touch((w*977+i*131)%9_900, 50)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range tr.Snapshot(nil) {
+		total += c
+	}
+	// Every Touch lands in at least one region and at most two.
+	if min, max := int64(workers*perWorker), int64(2*workers*perWorker); total < min || total > max {
+		t.Fatalf("total touches %d outside [%d, %d]", total, min, max)
+	}
+}

@@ -160,10 +160,16 @@ func SummarizeCoverage(acc genome.Accumulator, maxBucket int) CoverageStats {
 	if acc == nil {
 		return st
 	}
+	// QC runs after mapping has quiesced; a frozen view reads the
+	// accumulator without per-position lock round trips.
+	total := acc.Total
+	if fz, err := genome.Freeze(acc); err == nil {
+		total = fz.Total
+	}
 	var sum float64
 	var b1, b4, b10 int
 	for pos := 0; pos < acc.Len(); pos++ {
-		d := acc.Total(pos)
+		d := total(pos)
 		st.Positions++
 		sum += d
 		if d > st.MaxDepth {

@@ -1,0 +1,196 @@
+package snp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/genome"
+	"gnumap/internal/lrt"
+)
+
+// Incremental calling in waves against a striped accumulator: every
+// AddRange is mirrored by a tracker Touch (exactly what the engine
+// does), sweeps run at quiesce points, and the final call set must be
+// bit-identical to a one-shot CallAll over the same state. Regions
+// untouched between sweeps must be reused, not re-swept.
+func TestIncrementalMatchesCallAll(t *testing.T) {
+	const length = 40_000
+	rng := rand.New(rand.NewSource(37))
+	seq := make(dna.Seq, length)
+	for i := range seq {
+		seq[i] = dna.Code(rng.Intn(4))
+	}
+	ref, err := genome.NewSingleContig("chrInc", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := genome.New(genome.Norm, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ploidy: lrt.Diploid, UseFDR: true}
+	ic, err := NewIncrementalCaller(ref, acc, 4_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := ic.Tracker()
+	if got := tracker.Regions(); got != 10 {
+		t.Fatalf("Regions = %d, want 10", got)
+	}
+
+	add := func(lo, hi, n int) {
+		for i := 0; i < n; i++ {
+			pos := lo + rng.Intn(hi-lo-4)
+			zs := make([]genome.Vec, 1+rng.Intn(4))
+			for j := range zs {
+				var z genome.Vec
+				z[rng.Intn(5)] = 0.5 + rng.Float64()
+				z[rng.Intn(4)] += 0.3
+				zs[j] = z
+			}
+			acc.AddRange(pos, zs, 0.5+rng.Float64())
+			tracker.Touch(pos, len(zs))
+		}
+	}
+
+	// plant drops clear homozygous-alt evidence at pos so the waves
+	// produce real calls, not just noise.
+	plant := func(pos int) {
+		alt := (int(seq[pos]) + 1) % 4
+		var z genome.Vec
+		z[alt] = 3
+		for i := 0; i < 3; i++ {
+			acc.AddRange(pos, []genome.Vec{z}, 1)
+			tracker.Touch(pos, 1)
+		}
+	}
+
+	// Wave 1: the front half of the genome, with planted SNP sites.
+	add(0, length/2, 3_000)
+	for p := 100; p < length/2; p += 997 {
+		plant(p)
+	}
+	if err := ic.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ic.Provisional(); err != nil {
+		t.Fatal(err)
+	}
+	sweptAfter1 := ic.RegionsSwept()
+	if sweptAfter1 == 0 {
+		t.Fatal("first sweep touched no regions")
+	}
+
+	// Idle sweep: nothing written, everything must be reused.
+	reusedBefore := ic.RegionsReused()
+	if err := ic.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if ic.RegionsSwept() != sweptAfter1 {
+		t.Fatalf("idle sweep re-swept regions: %d -> %d", sweptAfter1, ic.RegionsSwept())
+	}
+	if ic.RegionsReused() != reusedBefore+int64(tracker.Regions()) {
+		t.Fatalf("idle sweep reused %d regions, want all %d", ic.RegionsReused()-reusedBefore, tracker.Regions())
+	}
+
+	// Wave 2: a single back-half region; the next sweep must only touch
+	// the written region(s).
+	add(length-6_000, length-1_000, 400)
+	sweptBefore := ic.RegionsSwept()
+	if err := ic.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := ic.RegionsSwept() - sweptBefore; delta < 1 || delta > 3 {
+		t.Fatalf("localized wave re-swept %d regions, want 1-3", delta)
+	}
+
+	// Wave 3 then finalize: bit-identical to the one-shot sweep.
+	add(0, length, 1_500)
+	for p := length/2 + 250; p < length; p += 1_501 {
+		plant(p)
+	}
+	calls, st, err := ic.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantSt, err := CallAll(ref, acc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("incremental final calls diverge from CallAll: %d vs %d", len(calls), len(want))
+	}
+	if st != wantSt {
+		t.Fatalf("incremental stats %+v, CallAll %+v", st, wantSt)
+	}
+	if len(calls) == 0 {
+		t.Fatal("vacuous: no calls produced")
+	}
+	if ic.Sweeps() != 4 {
+		t.Fatalf("Sweeps = %d, want 4", ic.Sweeps())
+	}
+}
+
+// The incremental caller must also track a sharded accumulator
+// non-destructively: worker shards stay live across sweeps, and the
+// final calls match CallAll over the same (combined) state.
+func TestIncrementalSharded(t *testing.T) {
+	const length = 20_000
+	rng := rand.New(rand.NewSource(41))
+	seq := make(dna.Seq, length)
+	for i := range seq {
+		seq[i] = dna.Code(rng.Intn(4))
+	}
+	ref, err := genome.NewSingleContig("chrShard", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := genome.NewSharded(genome.Norm, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ploidy: lrt.Diploid}
+	ic, err := NewIncrementalCaller(ref, s, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := s.WorkerShard()
+	for i := 0; i < 2_000; i++ {
+		pos := rng.Intn(length - 2)
+		var z genome.Vec
+		z[rng.Intn(4)] = 0.9
+		shard.AddRange(pos, []genome.Vec{z}, 1)
+		ic.Tracker().Touch(pos, 1)
+	}
+	if err := ic.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardCount(); got != 1 {
+		t.Fatalf("sweep released worker shards: ShardCount = %d, want 1", got)
+	}
+	shard.AddRange(500, []genome.Vec{{0, 0.9, 0, 0, 0}}, 10)
+	ic.Tracker().Touch(500, 1)
+	calls, _, err := ic.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := CallAll(ref, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("sharded incremental calls diverge: %d vs %d", len(calls), len(want))
+	}
+}
+
+func TestIncrementalCallerValidation(t *testing.T) {
+	ref, acc := fixture(t)
+	if _, err := NewIncrementalCaller(nil, acc, 0, Config{}); err == nil {
+		t.Error("nil reference accepted")
+	}
+	if _, err := NewIncrementalCaller(ref, nil, 0, Config{}); err == nil {
+		t.Error("nil accumulator accepted")
+	}
+}

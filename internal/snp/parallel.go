@@ -37,16 +37,9 @@ func CollectRangeParallel(ref *genome.Reference, acc genome.Accumulator, offset,
 	if ref == nil || acc == nil {
 		return nil, st, fmt.Errorf("snp: nil reference or accumulator")
 	}
-	// Clamp exactly as CollectRange does, so chunking sees final bounds.
-	if from < offset {
-		from = offset
-	}
-	if to > offset+acc.Len() {
-		to = offset + acc.Len()
-	}
-	if to > ref.Len() {
-		to = ref.Len()
-	}
+	// Clamp exactly as CollectRange does (shared helper), so chunking
+	// sees final bounds.
+	from, to = clampSweep(ref, acc.Len(), offset, from, to)
 	workers := cfg.CallWorkers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -21,21 +21,24 @@ func WritePileup(w io.Writer, ref *genome.Reference, acc genome.Accumulator, off
 	if ref == nil || acc == nil {
 		return fmt.Errorf("snp: nil reference or accumulator")
 	}
-	if from < offset {
-		from = offset
-	}
-	if to > offset+acc.Len() {
-		to = offset + acc.Len()
-	}
-	if to > ref.Len() {
-		to = ref.Len()
+	from, to = clampSweep(ref, acc.Len(), offset, from, to)
+	// Writers are quiesced by the time a pileup is written; read through
+	// a lock-free frozen view when the accumulator has one.
+	fz, err := genome.Freeze(acc)
+	if err != nil {
+		fz = nil
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := fmt.Fprintln(bw, "#contig\tpos\tref\ttotal\tA\tC\tG\tT\tgap\tp_value"); err != nil {
 		return err
 	}
 	for g := from; g < to; g++ {
-		v := acc.Vector(g - offset)
+		var v genome.Vec
+		if fz != nil {
+			v = fz.Vector(g - offset)
+		} else {
+			v = acc.Vector(g - offset)
+		}
 		total := 0.0
 		for _, x := range v {
 			total += x

@@ -1,0 +1,104 @@
+package snp
+
+import (
+	"math"
+
+	"gnumap/internal/dna"
+	"gnumap/internal/genome"
+	"gnumap/internal/lrt"
+)
+
+// The coverage/allele prescreen in front of the LRT.
+//
+// Under this LRT the null is the uniform background (p_k = 0.2 ∀k), so
+// essentially every covered position — including clean homozygous-
+// reference ones — rejects it decisively; a screen that preserved
+// "would test significant" would skip almost nothing. What actually
+// makes the sweep cheap is the converse observation: a position whose
+// strongest non-reference evidence cannot beat the reference can never
+// become a SNP *call*, at any significance threshold. The screen skips
+// exactly those positions, so the χ² machinery and candidate
+// allocation run only on loci with a variant signal.
+//
+// The skipped positions still count toward Stats.Tested, but produce no
+// Candidate — the candidate family (and with UseFDR, the Benjamini–
+// Hochberg family) is the screen-passing loci. Calls under the fixed
+// cutoff are provably unchanged (theorem below). Under FDR the family
+// shrinks by the certain-rejection hom-ref mass that previously dragged
+// the BH pivot toward "reject everything", so borderline p-values now
+// face an honest threshold — a statistical fix, not a regression; the
+// planted-truth experiments (EXPERIMENTS.md) are unaffected.
+//
+// Theorem (conservativeness). Let v be the position's channel vector
+// with all entries finite and non-negative, r its concrete reference
+// channel, n = Σv. Write S = channels ∉ {r, gap},
+// B = max_{k∈S} v[k], and m = max(v[r], v[gap]). If
+//
+//	B < m, and
+//	  · ploidy ≠ Diploid, or
+//	  · B = 0, or
+//	  · MinHetMinorFraction > 0 and B/n < MinHetMinorFraction,
+//
+// then FinalizeCalls can never emit a call for the position:
+//
+//  1. B < m ⟹ the order statistic's top channel is in {r, gap} (ties
+//     between r and gap break to a channel still in {r, gap}; no S
+//     channel ties m because the inequality is strict), so a
+//     homozygous call fails isSNP.
+//  2. A heterozygous call therefore needs Second ∈ S — in which case
+//     z(4) = v[Second] = B exactly (Second is the largest non-top
+//     channel, and every channel outside S is ≤ m = z(5)):
+//     · ploidy ≠ Diploid: Result.Heterozygous is always false.
+//     · B = 0: z(4) = 0 forces n = z(5), and the stated-Eq.-2 het
+//     likelihood is then z(5)·log(1/2) below the homozygous one, so
+//     Heterozygous is false.
+//     · otherwise MinorFraction = z(4)/n = B/n < MinHetMinorFraction
+//     (the same floats and the same strict compare as the demotion in
+//     FinalizeCalls, because lrt.Test sums n in the same channel
+//     order as the sweep's depth) demotes the call to homozygous
+//     top-allele, which is in {r, gap} and fails isSNP.
+//     If instead Second ∉ S, both alleles are in {r, gap} and isSNP
+//     fails directly.
+//
+// A non-concrete reference base (N) is skipped unconditionally: isSNP
+// is constitutively false there. Vectors with a negative, NaN or Inf
+// channel are never skipped, so lrt.Test surfaces the same validation
+// error the unscreened sweep reported. All-zero and tied vectors are
+// kept (the conditions are strict). The skip condition never consults
+// Alpha, so it holds for the fixed cutoff, FDR, and a disabled
+// (negative-Alpha) filter alike.
+
+// prescreenSkip reports that the position provably cannot produce a SNP
+// call (see the theorem above). cfg must be resolved (withDefaults).
+func prescreenSkip(v genome.Vec, depth float64, refBase dna.Code, cfg *Config) bool {
+	for _, x := range v {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return false // keep: lrt.Test must surface its validation error
+		}
+	}
+	if !refBase.IsConcrete() {
+		return true // reference N: isSNP is always false
+	}
+	r := int(dna.Channel(refBase))
+	m := v[r]
+	if v[dna.ChGap] > m {
+		m = v[dna.ChGap]
+	}
+	b := 0.0
+	for k := 0; k < int(dna.ChGap); k++ {
+		if k != r && v[k] > b {
+			b = v[k]
+		}
+	}
+	if b >= m {
+		return false // a variant channel can top the order statistic
+	}
+	if cfg.Ploidy != lrt.Diploid {
+		return true
+	}
+	if b == 0 {
+		return true
+	}
+	// Identical floats, identical strict compare as the het demotion.
+	return cfg.MinHetMinorFraction > 0 && b/depth < cfg.MinHetMinorFraction
+}

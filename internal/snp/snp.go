@@ -50,14 +50,18 @@ type Config struct {
 	// Ploidy selects the hypothesis family (default Monoploid).
 	Ploidy lrt.Ploidy
 	// Alpha is the family-wise significance level (default 0.05); the
-	// per-test cutoff is the paper's α/5 adjustment.
+	// per-test cutoff is the paper's α/5 adjustment. Zero selects the
+	// default; a negative value disables the significance filter
+	// entirely (every tested candidate passes — only the variant and
+	// allele-balance filters apply).
 	Alpha float64
 	// UseFDR switches from the fixed cutoff to Benjamini–Hochberg
 	// control at level Alpha across all tested positions.
 	UseFDR bool
 	// MinDepth skips positions with less accumulated mass (default 2):
 	// below it the LRT has essentially no power and the χ²
-	// approximation is poor.
+	// approximation is poor. Zero selects the default; a negative value
+	// disables the depth filter (every position is tested).
 	MinDepth float64
 	// MinHetMinorFraction demotes heterozygous calls whose minor
 	// allele holds less than this share of the position's mass to
@@ -80,12 +84,24 @@ type Config struct {
 	CallChunk int
 	// Metrics, when non-nil, receives the caller's stage timers and
 	// counters (call.collect.seconds, call.finalize.seconds,
-	// call.tested, call.significant, call.snps; the parallel sweep adds
-	// call.workers, call.chunks and per-chunk call.sweep.seconds).
+	// call.tested, call.prescreened, call.significant, call.snps; the
+	// parallel sweep adds call.workers, call.chunks and per-chunk
+	// call.sweep.seconds).
 	Metrics *obs.Registry
+
+	// noPrescreen bypasses the coverage/allele prescreen (see
+	// prescreen.go). Test-only: the prescreen property tests compare the
+	// screened sweep against this exhaustive one.
+	noPrescreen bool
 }
 
-// withDefaults fills zero values.
+// withDefaults fills zero values. Every filter threshold follows one
+// convention: zero selects the documented default, a negative value
+// disables the filter. (A literal zero cannot mean "no filter" —
+// Go's zero value must keep selecting the default — so disabling is
+// spelled with a negative, as MinHetMinorFraction always did.)
+// Negative values pass through unchanged, so resolving is idempotent
+// and checkpoint fingerprints of existing configs are unaffected.
 func (c Config) withDefaults() Config {
 	if c.Alpha == 0 {
 		c.Alpha = 0.05
@@ -129,11 +145,39 @@ type Candidate struct {
 	MinorFraction float64
 }
 
+// clampSweep clips a global sweep range [from, to) to the intersection
+// of the accumulator's window (offset maps accumulator index 0 to
+// global position offset) and the reference. Every range-taking sweep —
+// CollectRange, CollectRangeParallel's pre-chunking bounds, WritePileup
+// — clamps through this one helper: the parallel sweep chunks the
+// clamped range, so any divergence between its clamp and the serial
+// one would silently change the chunk boundaries and the tested family.
+func clampSweep(ref *genome.Reference, accLen, offset, from, to int) (int, int) {
+	if from < offset {
+		from = offset
+	}
+	if to > offset+accLen {
+		to = offset + accLen
+	}
+	if to > ref.Len() {
+		to = ref.Len()
+	}
+	return from, to
+}
+
 // CollectRange runs the LRT over global positions [from, to) of the
 // accumulator, offset mapping accumulator index 0 to global position
-// `offset` (non-zero in genome-split mode), and returns every tested
-// position as a Candidate. Stats has Tested filled; significance is
-// decided by FinalizeCalls.
+// `offset` (non-zero in genome-split mode), and returns every
+// screen-passing tested position as a Candidate. Stats has Tested
+// filled (every depth-passing position, screened or not); significance
+// is decided by FinalizeCalls.
+//
+// The sweep reads through a lock-free frozen view when the accumulator
+// supports one (every in-tree layout does), falling back to the locked
+// per-position interface otherwise, and runs the conservative
+// prescreen (prescreen.go) in front of the LRT. Both paths and the
+// parallel sweep screen identically, so serial and parallel results
+// stay bit-identical.
 func CollectRange(ref *genome.Reference, acc genome.Accumulator, offset, from, to int, cfg Config) ([]Candidate, Stats, error) {
 	cfg = cfg.withDefaults()
 	var st Stats
@@ -141,18 +185,22 @@ func CollectRange(ref *genome.Reference, acc genome.Accumulator, offset, from, t
 		return nil, st, fmt.Errorf("snp: nil reference or accumulator")
 	}
 	defer cfg.Metrics.StartTimer("call.collect.seconds")()
-	if from < offset {
-		from = offset
-	}
-	if to > offset+acc.Len() {
-		to = offset + acc.Len()
-	}
-	if to > ref.Len() {
-		to = ref.Len()
+	from, to = clampSweep(ref, acc.Len(), offset, from, to)
+	// A frozen view reads the quiesced accumulator without the stripe
+	// locks; non-freezable implementations keep the locked path.
+	fz, fzErr := genome.Freeze(acc)
+	if fzErr != nil {
+		fz = nil
 	}
 	var candidates []Candidate
+	var screened int64
 	for g := from; g < to; g++ {
-		v := acc.Vector(g - offset)
+		var v genome.Vec
+		if fz != nil {
+			v = fz.Vector(g - offset)
+		} else {
+			v = acc.Vector(g - offset)
+		}
 		var depth float64
 		for _, x := range v {
 			depth += x
@@ -160,15 +208,22 @@ func CollectRange(ref *genome.Reference, acc genome.Accumulator, offset, from, t
 		if depth < cfg.MinDepth {
 			continue
 		}
+		refBase, err := ref.Base(g)
+		if err != nil {
+			return nil, st, err
+		}
+		if !cfg.noPrescreen && prescreenSkip(v, depth, refBase, &cfg) {
+			// Provably cannot produce a SNP call at any significance
+			// threshold; counted as tested, never a candidate.
+			st.Tested++
+			screened++
+			continue
+		}
 		res, err := lrt.Test(v, cfg.Ploidy)
 		if err != nil {
 			return nil, st, err
 		}
 		st.Tested++
-		refBase, err := ref.Base(g)
-		if err != nil {
-			return nil, st, err
-		}
 		contig, local, err := ref.Locate(g)
 		if err != nil {
 			// Inter-contig spacer positions are not callable.
@@ -192,6 +247,7 @@ func CollectRange(ref *genome.Reference, acc genome.Accumulator, offset, from, t
 		})
 	}
 	cfg.Metrics.Counter("call.tested").Add(int64(st.Tested))
+	cfg.Metrics.Counter("call.prescreened").Add(screened)
 	return candidates, st, nil
 }
 
@@ -206,21 +262,30 @@ func FinalizeCalls(candidates []Candidate, cfg Config) ([]Call, Stats, error) {
 	cfg = cfg.withDefaults()
 	st := Stats{Tested: len(candidates)}
 	defer cfg.Metrics.StartTimer("call.finalize.seconds")()
-	cutoff, err := lrt.AdjustedPValueCutoff(cfg.Alpha)
-	if err != nil {
-		return nil, st, err
-	}
 	significant := make([]bool, len(candidates))
-	if cfg.UseFDR {
+	switch {
+	case cfg.Alpha < 0:
+		// Negative Alpha disables the significance filter (see Config):
+		// every candidate passes; only the variant and allele-balance
+		// filters below apply.
+		for i := range significant {
+			significant[i] = true
+		}
+	case cfg.UseFDR:
 		ps := make([]float64, len(candidates))
 		for i, c := range candidates {
 			ps[i] = c.Call.PValue
 		}
+		var err error
 		significant, err = stats.RejectFDR(ps, cfg.Alpha)
 		if err != nil {
 			return nil, st, err
 		}
-	} else {
+	default:
+		cutoff, err := lrt.AdjustedPValueCutoff(cfg.Alpha)
+		if err != nil {
+			return nil, st, err
+		}
 		for i, c := range candidates {
 			significant[i] = c.Call.PValue <= cutoff
 		}
