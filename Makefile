@@ -11,10 +11,11 @@ test:
 # The engine, accumulators, cluster runtime and metrics registry are
 # concurrent; -race on the full tree is slow, so the gate covers the
 # concurrent packages plus the root package (streaming e2e identity),
-# the PHMM kernels (batched-vs-scalar bit-exactness property tests) and
-# the FASTQ parser (fuzz seed corpus).
+# the PHMM and calling-sweep kernels (batched-vs-scalar bit-exactness
+# property tests, including the lrt batch evaluator) and the FASTQ
+# parser (fuzz seed corpus).
 race:
-	$(GO) test -race . ./internal/core/... ./internal/phmm/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/obs/... ./internal/fastq/... ./internal/ckpt/...
+	$(GO) test -race . ./internal/core/... ./internal/phmm/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/lrt/... ./internal/obs/... ./internal/fastq/... ./internal/ckpt/...
 
 vet:
 	$(GO) vet ./...
@@ -36,9 +37,11 @@ bench-phmm:
 bench-stream:
 	$(GO) run ./cmd/snpbench -exp stream -length 120000 -coverage 6
 
-# Parallel post-map phase: chunked calling sweep at 1/2/4/8 workers
-# (call set asserted identical to serial) plus striped-vs-sharded
-# accumulation throughput (writes BENCH_call.json).
+# Parallel post-map phase: scalar and vectorized calling sweeps at
+# 1/2/4/8 workers (every row asserted identical to the scalar serial
+# reference), prescreen ns/position per sweep flavor with the dispatched
+# kernel stamped, plus striped-vs-sharded accumulation throughput
+# (writes BENCH_call.json).
 bench-call:
 	$(GO) run ./cmd/snpbench -exp call -length 150000 -coverage 6
 

@@ -99,6 +99,7 @@ func run() error {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
 		accumMode  = flag.String("accum-mode", "auto", "accumulator write strategy: auto, striped (lock stripes on one shared copy), or sharded (lock-free per-worker shards, merged before calling)")
 		callWk     = flag.Int("call-workers", 0, "calling-sweep worker count (0 = GOMAXPROCS, 1 = serial; results are bit-identical regardless)")
+		callVec    = flag.Bool("call-vector", true, "vectorized plane-streaming calling sweep (norm layout only; calls are bit-identical to the scalar sweep either way)")
 		stream     = flag.Bool("stream", true, "stream reads through the bounded pipeline instead of materializing the FASTQ (auto-off with -fit or -sam, which need the full read slice)")
 		batch      = flag.Int("batch", 0, "reads per streaming batch (0 = default 64)")
 		queue      = flag.Int("queue", 0, "streaming work-queue bound, in batches (0 = default 4)")
@@ -248,6 +249,9 @@ func run() error {
 	}
 	opts.Engine.Accum = accum
 	opts.Caller.CallWorkers = *callWk
+	if !*callVec {
+		opts.Caller.CallVector = -1
+	}
 	if *fit {
 		sample := reads
 		if len(sample) > 2000 {

@@ -29,6 +29,7 @@ import (
 	"gnumap/internal/experiments"
 	"gnumap/internal/genome"
 	"gnumap/internal/obs"
+	"gnumap/internal/snp"
 )
 
 func main() {
@@ -434,19 +435,24 @@ func runStream(ds *experiments.Dataset, workers int, ckptEvery int64, outPath st
 // at the CPUs actually present, which is what the measured column
 // should track.
 func runCall(ds *experiments.Dataset, workers int, outPath string) {
-	callRows, accumRows, err := experiments.CallBench(ds, workers)
+	callRows, screenRows, accumRows, err := experiments.CallBench(ds, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("CALL — parallel calling sweep + accumulation strategies (GOMAXPROCS=%d, NumCPU=%d)\n",
-		callRows[0].GoMaxProcs, callRows[0].NumCPU)
-	fmt.Printf("%-8s %6s %10s %12s %8s %8s %9s %9s %9s %10s\n",
-		"workers", "procs", "wall", "pos/sec", "calls", "tested", "measured", "modeled", "host", "identical")
+	fmt.Printf("CALL — scalar vs vectorized calling sweep + accumulation strategies (GOMAXPROCS=%d, NumCPU=%d, kernel=%s)\n",
+		callRows[0].GoMaxProcs, callRows[0].NumCPU, snp.VectorKernel())
+	fmt.Printf("%-7s %-8s %-8s %6s %10s %12s %8s %8s %9s %9s %9s %10s\n",
+		"sweep", "kernel", "workers", "procs", "wall", "pos/sec", "calls", "tested", "measured", "modeled", "host", "identical")
 	for _, r := range callRows {
 		wall := time.Duration(r.WallNs)
-		fmt.Printf("%-8d %6d %10s %12.0f %8d %8d %8.2fx %8.2fx %8.2fx %10v\n",
-			r.Workers, r.GoMaxProcs, wall.Round(msRound(wall)), r.PosPerSec, r.Calls, r.Tested,
+		fmt.Printf("%-7s %-8s %-8d %6d %10s %12.0f %8d %8d %8.2fx %8.2fx %8.2fx %10v\n",
+			r.Sweep, r.VectorKernel, r.Workers, r.GoMaxProcs, wall.Round(msRound(wall)), r.PosPerSec, r.Calls, r.Tested,
 			r.MeasuredSpeedup, r.ModeledSpeedup, r.ModeledSpeedupHost, r.Identical)
+	}
+	fmt.Printf("%-7s %-8s %10s %12s\n", "sweep", "kernel", "wall", "ns/pos")
+	for _, r := range screenRows {
+		wall := time.Duration(r.WallNs)
+		fmt.Printf("%-7s %-8s %10s %12.2f\n", r.Sweep, r.VectorKernel, wall.Round(msRound(wall)), r.NsPerPos)
 	}
 	fmt.Printf("%-8s %11s %10s %12s %12s\n", "strategy", "goroutines", "wall", "adds/sec", "merge")
 	for _, r := range accumRows {
@@ -456,23 +462,27 @@ func runCall(ds *experiments.Dataset, workers int, outPath string) {
 			time.Duration(r.MergeNs).Round(time.Microsecond))
 	}
 	report := struct {
-		Generated  string                      `json:"generated"`
-		GoOS       string                      `json:"goos"`
-		GoArch     string                      `json:"goarch"`
-		GoMaxProcs int                         `json:"gomaxprocs"`
-		NumCPU     int                         `json:"numcpu"`
-		Input      string                      `json:"input"`
-		CallRows   []experiments.CallBenchRow  `json:"call_rows"`
-		AccumRows  []experiments.AccumBenchRow `json:"accum_rows"`
+		Generated    string                       `json:"generated"`
+		GoOS         string                       `json:"goos"`
+		GoArch       string                       `json:"goarch"`
+		GoMaxProcs   int                          `json:"gomaxprocs"`
+		NumCPU       int                          `json:"numcpu"`
+		VectorKernel string                       `json:"vector_kernel"`
+		Input        string                       `json:"input"`
+		CallRows     []experiments.CallBenchRow   `json:"call_rows"`
+		ScreenRows   []experiments.ScreenBenchRow `json:"screen_rows"`
+		AccumRows    []experiments.AccumBenchRow  `json:"accum_rows"`
 	}{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoOS:       runtime.GOOS,
-		GoArch:     runtime.GOARCH,
-		GoMaxProcs: callRows[0].GoMaxProcs,
-		NumCPU:     callRows[0].NumCPU,
-		Input:      fmt.Sprintf("%d positions, %d reads, map workers=%d", ds.Ref.Len(), len(ds.Reads), workers),
-		CallRows:   callRows,
-		AccumRows:  accumRows,
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoOS:         runtime.GOOS,
+		GoArch:       runtime.GOARCH,
+		GoMaxProcs:   callRows[0].GoMaxProcs,
+		NumCPU:       callRows[0].NumCPU,
+		VectorKernel: snp.VectorKernel(),
+		Input:        fmt.Sprintf("%d positions, %d reads, map workers=%d", ds.Ref.Len(), len(ds.Reads), workers),
+		CallRows:     callRows,
+		ScreenRows:   screenRows,
+		AccumRows:    accumRows,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,9 +1,12 @@
 package gnumap
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"gnumap/internal/genome"
+	"gnumap/internal/snp"
 )
 
 // End-to-end identity: incremental calling overlapped with mapping must
@@ -71,6 +74,68 @@ func TestIncrementalMappingIdentityE2E(t *testing.T) {
 	}
 	if g := reg.Gauge("call.first.reads").Value(); g != float64(res.FirstCallReads) {
 		t.Errorf("call.first.reads gauge = %v, result says %d", g, res.FirstCallReads)
+	}
+}
+
+// Satellite e2e for the vectorized sweep: a streaming run with
+// incremental calling must produce byte-identical provisional AND
+// final VCFs whether the sweeps run the vectorized (CallVector 0) or
+// scalar (CallVector -1) path — the engine-level form of the
+// bit-identity the snp-package property harness asserts. Runs under
+// -race in CI (make race covers the root package).
+func TestIncrementalVectorVCFByteIdentityE2E(t *testing.T) {
+	ds := dataset(t)
+	run := func(callVector int) (provisional []string, final string) {
+		t.Helper()
+		caller := CallerConfig{UseFDR: true, CallVector: callVector}
+		p, err := NewPipeline(ds.Reference, Options{
+			Engine: EngineConfig{Workers: 4, Batch: 32, Queue: 2},
+			Caller: caller,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := p.MapReadsFromIncremental(SliceReadSource(ds.Reads), IncrementalCallConfig{
+			EveryReads: 2_000,
+			OnProvisional: func(calls []SNPCall, _ CallStats, _ int64) {
+				var buf bytes.Buffer
+				if err := snp.WriteVCF(&buf, calls, "identity-e2e"); err != nil {
+					t.Error(err)
+					return
+				}
+				provisional = append(provisional, buf.String())
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := snp.WriteVCF(&buf, res.Calls, "identity-e2e"); err != nil {
+			t.Fatal(err)
+		}
+		return provisional, buf.String()
+	}
+
+	scalarProv, scalarFinal := run(-1)
+	vectorProv, vectorFinal := run(0)
+
+	if vectorFinal != scalarFinal {
+		t.Errorf("final VCF diverges between vectorized and scalar sweeps:\n--- scalar ---\n%s\n--- vector ---\n%s", scalarFinal, vectorFinal)
+	}
+	if len(vectorProv) != len(scalarProv) {
+		t.Fatalf("provisional VCF counts diverge: vector %d, scalar %d", len(vectorProv), len(scalarProv))
+	}
+	var nonEmpty int
+	for i := range scalarProv {
+		if vectorProv[i] != scalarProv[i] {
+			t.Errorf("provisional VCF %d diverges between vectorized and scalar sweeps", i)
+		}
+		if strings.Contains(scalarProv[i], "\tPASS\t") {
+			nonEmpty++
+		}
+	}
+	if len(scalarProv) < 2 || nonEmpty == 0 {
+		t.Fatalf("identity test is vacuous: %d provisional VCFs, %d with calls", len(scalarProv), nonEmpty)
 	}
 }
 

@@ -15,10 +15,19 @@ import (
 
 // CallBenchRow is one calling-sweep measurement, emitted by snpbench as
 // part of BENCH_call.json so successive PRs can track the parallel
-// post-map phase. Identical must be true on every row: the parallel
-// sweep is bit-identical to the serial one by construction, and the
-// benchmark re-verifies it on the real accumulator.
+// post-map phase. Identical must be true on every row: both the
+// parallel and the vectorized sweeps are bit-identical to the serial
+// scalar one by construction, and the benchmark re-verifies every row
+// against that single reference on the real accumulator.
 type CallBenchRow struct {
+	// Sweep is the inner-loop flavor: "scalar" (per-position loop) or
+	// "vector" (plane-streaming prescreen + lane-batched LRT).
+	Sweep string `json:"sweep"`
+	// VectorKernel stamps which prescreen kernel the row dispatched —
+	// "avx2" or "generic" (the runtime cpuid probe's verdict) on vector
+	// rows, "off" on scalar rows — so cross-host comparisons are never
+	// silently mixing code paths.
+	VectorKernel string `json:"vector_kernel"`
 	// Workers is the Caller.CallWorkers setting (1 = serial baseline).
 	Workers int `json:"workers"`
 	// Positions is the swept range length; Calls/Tested the outcome.
@@ -28,7 +37,11 @@ type CallBenchRow struct {
 	// WallNs is the CallAll wall time; PosPerSec the sweep throughput.
 	WallNs    int64   `json:"wall_ns"`
 	PosPerSec float64 `json:"pos_per_sec"`
-	// MeasuredSpeedup is serial wall / this wall. ModeledSpeedup is the
+	// MeasuredSpeedup is the SCALAR serial wall / this wall — a shared
+	// baseline across both sweep flavors, so vector rows state their
+	// gain over the per-position loop directly and the vector-vs-scalar
+	// comparison at equal worker counts is a plain column compare.
+	// ModeledSpeedup is the
 	// Amdahl projection for a host with Workers independent cores, using
 	// the measured serial fraction (the global FinalizeCalls pass that
 	// cannot be chunked). ModeledSpeedupHost is the same projection
@@ -51,6 +64,19 @@ type CallBenchRow struct {
 	Identical bool `json:"identical"`
 }
 
+// ScreenBenchRow is one serial sweep-throughput measurement in
+// ns/position, one row per sweep flavor: the per-position cost of the
+// collect phase (prescreen + surviving LRT evaluations) with the
+// dispatched kernel stamped, so BENCH_call.json records the measured
+// prescreen improvement and its provenance on this host.
+type ScreenBenchRow struct {
+	Sweep        string  `json:"sweep"`
+	VectorKernel string  `json:"vector_kernel"`
+	Positions    int     `json:"positions"`
+	WallNs       int64   `json:"wall_ns"`
+	NsPerPos     float64 `json:"ns_per_pos"`
+}
+
 // AccumBenchRow is one accumulation-strategy measurement: G goroutines
 // issuing interleaved AddRange windows against one striped accumulator
 // or private per-goroutine shards (combine included in the wall time).
@@ -70,8 +96,11 @@ type AccumBenchRow struct {
 var callWorkerSweep = []int{1, 2, 4, 8}
 
 // CallBench maps the dataset once into a striped accumulator, then
-// measures the LRT calling sweep serially and at each worker count,
-// asserting the call set never changes. It also measures raw AddRange
+// measures the LRT calling sweep serially and at each worker count —
+// under both the scalar per-position loop and the vectorized
+// plane-streaming sweep — asserting the call set never changes from
+// the scalar serial reference. It also reports serial sweep throughput
+// per flavor (the ns/position ScreenBenchRows) and raw AddRange
 // throughput under both accumulation strategies at 1/4/8 goroutines.
 //
 // The sweep only measures anything if the scheduler can actually run
@@ -84,7 +113,7 @@ var callWorkerSweep = []int{1, 2, 4, 8}
 // row whose worker count exceeds it. On a host with fewer CPUs than
 // the sweep maximum the measured column is still capped by the
 // hardware; ModeledSpeedupHost is the honest target for that case.
-func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []AccumBenchRow, error) {
+func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []ScreenBenchRow, []AccumBenchRow, error) {
 	maxW := callWorkerSweep[len(callWorkerSweep)-1]
 	if prev := runtime.GOMAXPROCS(0); prev < maxW {
 		runtime.GOMAXPROCS(maxW)
@@ -95,96 +124,127 @@ func CallBench(ds *Dataset, workers int) ([]CallBenchRow, []AccumBenchRow, error
 
 	eng, err := core.NewEngine(ds.Ref, core.Config{Workers: workers})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	acc, err := genome.New(genome.Norm, ds.Ref.Len())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if _, err := eng.MapReads(ds.Reads, acc, 0); err != nil {
-		return nil, nil, err
-	}
-
-	ccfg := snp.Config{Ploidy: lrt.Diploid, UseFDR: true, CallWorkers: 1}
-
-	// Warm the caches so the serial baseline is not penalized for going
-	// first.
-	if _, _, err := snp.CollectRange(ds.Ref, acc, 0, 0, ds.Ref.Len(), ccfg); err != nil {
-		return nil, nil, err
-	}
-	// Serial baseline, timing the two halves separately: the sweep
-	// parallelizes, the finalize (sort + one global BH pass) cannot be
-	// chunked and is the Amdahl serial fraction.
-	sweepStart := time.Now()
-	cands, sweepSt, err := snp.CollectRange(ds.Ref, acc, 0, 0, ds.Ref.Len(), ccfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	sweepWall := time.Since(sweepStart)
-	finStart := time.Now()
-	wantCalls, wantSt, err := snp.FinalizeCalls(cands, ccfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	finWall := time.Since(finStart)
-	// Mirror CallRange: Tested is the sweep's count (prescreened
-	// positions included), not the candidate count FinalizeCalls sees.
-	wantSt.Tested = sweepSt.Tested
-	serialWall := sweepWall + finWall
-	serialFrac := finWall.Seconds() / serialWall.Seconds()
-
-	// hostModel caps the Amdahl projection at the host's physical
-	// parallelism: workers beyond NumCPU timeshare and add nothing.
-	hostModel := func(w int) float64 {
-		p := w
-		if ncpu < p {
-			p = ncpu
-		}
-		if p < 1 {
-			p = 1
-		}
-		return 1 / (serialFrac + (1-serialFrac)/float64(p))
+		return nil, nil, nil, err
 	}
 
 	n := ds.Ref.Len()
-	callRows := []CallBenchRow{{
-		Workers: 1, Positions: n, Calls: len(wantCalls), Tested: wantSt.Tested,
-		WallNs: serialWall.Nanoseconds(), PosPerSec: float64(n) / serialWall.Seconds(),
-		MeasuredSpeedup: 1, ModeledSpeedup: 1, ModeledSpeedupHost: 1,
-		GoMaxProcs: procs, NumCPU: ncpu, Identical: true,
-	}}
-	for _, w := range callWorkerSweep[1:] {
-		if w > procs {
-			return nil, nil, fmt.Errorf("experiments: sweep workers=%d exceed GOMAXPROCS=%d: the row would timeshare and measure nothing", w, procs)
+	var callRows []CallBenchRow
+	var screenRows []ScreenBenchRow
+	// The scalar serial run is the identity reference every other row —
+	// parallel or vectorized — is checked against, and the shared
+	// MeasuredSpeedup baseline.
+	var wantCalls []snp.Call
+	var wantSt snp.Stats
+	var scalarSerialWall time.Duration
+
+	for _, sweep := range []string{"scalar", "vector"} {
+		ccfg := snp.Config{Ploidy: lrt.Diploid, UseFDR: true, CallWorkers: 1}
+		kernel := "off"
+		if sweep == "vector" {
+			kernel = snp.VectorKernel()
+		} else {
+			ccfg.CallVector = -1
 		}
-		cfg := ccfg
-		cfg.CallWorkers = w
-		start := time.Now()
-		calls, st, err := snp.CallAll(ds.Ref, acc, cfg)
+
+		// Warm the caches so the serial baseline is not penalized for
+		// going first.
+		if _, _, err := snp.CollectRange(ds.Ref, acc, 0, 0, n, ccfg); err != nil {
+			return nil, nil, nil, err
+		}
+		// Serial baseline, timing the two halves separately: the sweep
+		// parallelizes, the finalize (sort + one global BH pass) cannot
+		// be chunked and is the Amdahl serial fraction.
+		sweepStart := time.Now()
+		cands, sweepSt, err := snp.CollectRange(ds.Ref, acc, 0, 0, n, ccfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		wall := time.Since(start)
-		identical := reflect.DeepEqual(calls, wantCalls) && reflect.DeepEqual(st, wantSt)
-		if !identical {
-			return nil, nil, fmt.Errorf("experiments: parallel caller (workers=%d) diverged from serial", w)
+		sweepWall := time.Since(sweepStart)
+		finStart := time.Now()
+		calls, st, err := snp.FinalizeCalls(cands, ccfg)
+		if err != nil {
+			return nil, nil, nil, err
 		}
-		callRows = append(callRows, CallBenchRow{
-			Workers: w, Positions: n, Calls: len(calls), Tested: st.Tested,
-			WallNs: wall.Nanoseconds(), PosPerSec: float64(n) / wall.Seconds(),
-			MeasuredSpeedup:    serialWall.Seconds() / wall.Seconds(),
-			ModeledSpeedup:     1 / (serialFrac + (1-serialFrac)/float64(w)),
-			ModeledSpeedupHost: hostModel(w),
-			GoMaxProcs:         procs, NumCPU: ncpu,
-			Identical: identical,
+		finWall := time.Since(finStart)
+		// Mirror CallRange: Tested is the sweep's count (prescreened
+		// positions included), not the candidate count FinalizeCalls sees.
+		st.Tested = sweepSt.Tested
+		serialWall := sweepWall + finWall
+		serialFrac := finWall.Seconds() / serialWall.Seconds()
+
+		if sweep == "scalar" {
+			wantCalls, wantSt, scalarSerialWall = calls, st, serialWall
+		} else if !reflect.DeepEqual(calls, wantCalls) || !reflect.DeepEqual(st, wantSt) {
+			return nil, nil, nil, fmt.Errorf("experiments: vectorized sweep diverged from the scalar reference")
+		}
+		screenRows = append(screenRows, ScreenBenchRow{
+			Sweep: sweep, VectorKernel: kernel, Positions: n,
+			WallNs:   sweepWall.Nanoseconds(),
+			NsPerPos: float64(sweepWall.Nanoseconds()) / float64(n),
 		})
+
+		// hostModel caps the Amdahl projection at the host's physical
+		// parallelism: workers beyond NumCPU timeshare and add nothing.
+		hostModel := func(w int) float64 {
+			p := w
+			if ncpu < p {
+				p = ncpu
+			}
+			if p < 1 {
+				p = 1
+			}
+			return 1 / (serialFrac + (1-serialFrac)/float64(p))
+		}
+
+		callRows = append(callRows, CallBenchRow{
+			Sweep: sweep, VectorKernel: kernel,
+			Workers: 1, Positions: n, Calls: len(calls), Tested: st.Tested,
+			WallNs: serialWall.Nanoseconds(), PosPerSec: float64(n) / serialWall.Seconds(),
+			MeasuredSpeedup: scalarSerialWall.Seconds() / serialWall.Seconds(),
+			ModeledSpeedup:  1, ModeledSpeedupHost: 1,
+			GoMaxProcs: procs, NumCPU: ncpu, Identical: true,
+		})
+		for _, w := range callWorkerSweep[1:] {
+			if w > procs {
+				return nil, nil, nil, fmt.Errorf("experiments: sweep workers=%d exceed GOMAXPROCS=%d: the row would timeshare and measure nothing", w, procs)
+			}
+			cfg := ccfg
+			cfg.CallWorkers = w
+			start := time.Now()
+			calls, st, err := snp.CallAll(ds.Ref, acc, cfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			wall := time.Since(start)
+			identical := reflect.DeepEqual(calls, wantCalls) && reflect.DeepEqual(st, wantSt)
+			if !identical {
+				return nil, nil, nil, fmt.Errorf("experiments: %s caller (workers=%d) diverged from the scalar serial reference", sweep, w)
+			}
+			callRows = append(callRows, CallBenchRow{
+				Sweep: sweep, VectorKernel: kernel,
+				Workers: w, Positions: n, Calls: len(calls), Tested: st.Tested,
+				WallNs: wall.Nanoseconds(), PosPerSec: float64(n) / wall.Seconds(),
+				MeasuredSpeedup:    scalarSerialWall.Seconds() / wall.Seconds(),
+				ModeledSpeedup:     1 / (serialFrac + (1-serialFrac)/float64(w)),
+				ModeledSpeedupHost: hostModel(w),
+				GoMaxProcs:         procs, NumCPU: ncpu,
+				Identical: identical,
+			})
+		}
 	}
 
 	accumRows, err := accumBench(ds.Ref.Len())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return callRows, accumRows, nil
+	return callRows, screenRows, accumRows, nil
 }
 
 // accumBench times interleaved AddRange windows against both strategies

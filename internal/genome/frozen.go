@@ -124,6 +124,33 @@ func (f *Frozen) Plane(k int) []float32 {
 	return f.planes[k]
 }
 
+// Planes returns all five channel planes of a NORM view at once, for
+// sweeps that stream every channel in lockstep (the vectorized calling
+// prescreen). ok is false for the discretized modes, whose channel
+// state is byte-packed — such callers fall back to Vector. The slices
+// alias the accumulator's arrays, zero-copy, exactly like Plane.
+func (f *Frozen) Planes() (planes [dna.NumChannels][]float32, ok bool) {
+	if f.mode != Norm {
+		return planes, false
+	}
+	return f.planes, true
+}
+
+// PlaneWindow returns the five channel planes sliced to positions
+// [lo, hi), the block-iteration form of Planes: a plane-streaming
+// sweep asks for exactly the window it is about to classify, and the
+// bounds check lives here instead of at every call site. ok is false
+// for the discretized modes or an invalid window.
+func (f *Frozen) PlaneWindow(lo, hi int) (planes [dna.NumChannels][]float32, ok bool) {
+	if f.mode != Norm || lo < 0 || hi > f.length || lo > hi {
+		return planes, false
+	}
+	for k := range planes {
+		planes[k] = f.planes[k][lo:hi:hi]
+	}
+	return planes, true
+}
+
 // TotalPlane returns the contiguous per-position total plane of the
 // discretized modes (nil for NORM, which stores no separate totals).
 func (f *Frozen) TotalPlane() []float32 { return f.total }

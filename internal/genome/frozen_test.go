@@ -124,6 +124,79 @@ func TestFrozenPlaneAccessors(t *testing.T) {
 	}
 }
 
+// The bulk plane accessors feeding the vectorized calling sweep:
+// NORM views hand out all five planes (whole or windowed) whose
+// converted values match Vector exactly; the discretized modes refuse
+// (ok = false) because their channel state is byte-packed — Plane is
+// nil there and TotalPlane carries the per-position totals instead.
+func TestFrozenPlaneIteration(t *testing.T) {
+	const L = 96
+	rng := rand.New(rand.NewSource(17))
+	norm := feed(t, Norm, L, randomStream(rng, 120, L, L/3))
+	fz, err := Freeze(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes, ok := fz.Planes()
+	if !ok {
+		t.Fatal("NORM view refused Planes")
+	}
+	for k := range planes {
+		if len(planes[k]) != L {
+			t.Fatalf("Planes()[%d] length %d, want %d", k, len(planes[k]), L)
+		}
+	}
+	for _, w := range [][2]int{{0, L}, {0, 0}, {5, 5}, {7, 31}, {L - 9, L}} {
+		win, ok := fz.PlaneWindow(w[0], w[1])
+		if !ok {
+			t.Fatalf("PlaneWindow(%d, %d) refused", w[0], w[1])
+		}
+		for pos := w[0]; pos < w[1]; pos++ {
+			want := fz.Vector(pos)
+			for k := range win {
+				if got := float64(win[k][pos-w[0]]); got != want[k] {
+					t.Fatalf("PlaneWindow(%d,%d)[%d][%d] = %v, want %v", w[0], w[1], k, pos-w[0], got, want[k])
+				}
+			}
+		}
+	}
+	for _, w := range [][2]int{{-1, 4}, {0, L + 1}, {9, 8}} {
+		if _, ok := fz.PlaneWindow(w[0], w[1]); ok {
+			t.Errorf("PlaneWindow(%d, %d) accepted an invalid window", w[0], w[1])
+		}
+	}
+
+	for _, mode := range []Mode{CharDisc, CentDisc} {
+		t.Run(mode.String(), func(t *testing.T) {
+			acc := feed(t, mode, L, randomStream(rng, 120, L, L/3))
+			dfz, err := Freeze(acc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := dfz.Planes(); ok {
+				t.Error("discrete view handed out channel planes")
+			}
+			if _, ok := dfz.PlaneWindow(0, L); ok {
+				t.Error("discrete view handed out a plane window")
+			}
+			for k := 0; k < 5; k++ {
+				if dfz.Plane(k) != nil {
+					t.Errorf("discrete Plane(%d) non-nil", k)
+				}
+			}
+			tp := dfz.TotalPlane()
+			if len(tp) != L {
+				t.Fatalf("TotalPlane length %d, want %d", len(tp), L)
+			}
+			for pos := 0; pos < L; pos++ {
+				if got, want := float64(tp[pos]), acc.Total(pos); got != want {
+					t.Fatalf("TotalPlane[%d] = %v, want %v", pos, got, want)
+				}
+			}
+		})
+	}
+}
+
 // SnapshotInto must be deterministic: two snapshots with no writes in
 // between are bit-identical, and after writes confined to one area the
 // untouched positions keep their exact previous values. The incremental

@@ -1,0 +1,94 @@
+package lrt
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBatch must be bit-identical to element-wise Test — it is the
+// contract the vectorized calling sweep's identity argument rests on.
+func TestBatchMatchesTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, ploidy := range []Ploidy{Monoploid, Diploid} {
+		zs := make([]Vector, 500)
+		for i := range zs {
+			switch rng.Intn(5) {
+			case 0: // empty
+			case 1: // ties
+				for k := range zs[i] {
+					zs[i][k] = float64(rng.Intn(3))
+				}
+			case 2: // dominant channel
+				zs[i][rng.Intn(len(zs[i]))] = 5 + 20*rng.Float64()
+			default:
+				for k := range zs[i] {
+					zs[i][k] = 10 * rng.Float64()
+				}
+			}
+		}
+		out := make([]Result, len(zs))
+		n, err := TestBatch(zs, ploidy, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(zs) {
+			t.Fatalf("ploidy %v: TestBatch wrote %d of %d", ploidy, n, len(zs))
+		}
+		for i, z := range zs {
+			want, err := Test(z, ploidy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(out[i], want) {
+				t.Fatalf("ploidy %v element %d: batch %+v, scalar %+v", ploidy, i, out[i], want)
+			}
+		}
+	}
+}
+
+// An invalid vector stops the batch at its index with the scalar
+// test's exact validation error.
+func TestBatchStopsAtInvalidVector(t *testing.T) {
+	zs := []Vector{
+		{1, 2, 3, 0, 0},
+		{4, 0, 0, 0, 0},
+		{1, math.NaN(), 0, 0, 0},
+		{9, 9, 0, 0, 0},
+	}
+	out := make([]Result, len(zs))
+	n, err := TestBatch(zs, Diploid, out)
+	if err == nil {
+		t.Fatal("TestBatch accepted a NaN channel")
+	}
+	if n != 2 {
+		t.Fatalf("TestBatch stopped after %d elements, want 2", n)
+	}
+	_, wantErr := Test(zs[2], Diploid)
+	if wantErr == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("batch error %v, scalar error %v", err, wantErr)
+	}
+	for i := 0; i < n; i++ {
+		want, terr := Test(zs[i], Diploid)
+		if terr != nil {
+			t.Fatal(terr)
+		}
+		if !reflect.DeepEqual(out[i], want) {
+			t.Fatalf("element %d written before the error diverges from scalar", i)
+		}
+	}
+}
+
+// An undersized out slice is rejected before any evaluation.
+func TestBatchRejectsShortOut(t *testing.T) {
+	zs := make([]Vector, 3)
+	_, err := TestBatch(zs, Monoploid, make([]Result, 2))
+	if err == nil || !strings.Contains(err.Error(), "2 slots for 3 vectors") {
+		t.Fatalf("short out error = %v", err)
+	}
+	if n, err := TestBatch(nil, Diploid, nil); n != 0 || err != nil {
+		t.Fatalf("empty batch = (%d, %v), want (0, nil)", n, err)
+	}
+}

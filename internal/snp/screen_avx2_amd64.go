@@ -1,0 +1,111 @@
+//go:build amd64
+
+package snp
+
+import (
+	"unsafe"
+
+	"gnumap/internal/dna"
+)
+
+// The AVX2 prescreen kernel classifies 8 positions per iteration
+// straight off the five float32 planes: validity and max/compare logic
+// in packed float32, depth accumulation in packed float64 with the
+// scalar sweep's conversion-and-add order, and the diploid
+// minor-fraction ratio in packed float64 — every compare resolves
+// exactly as prescreenBlocksGeneric's (see screen_amd64.s, which
+// mirrors that loop operation for operation). Packed IEEE-754 ops
+// round identically to scalar ones and nothing is contracted into an
+// FMA, so the three mask bytes per block are bit-identical across the
+// assembly, the generic loop, and the scalar prescreen; the property
+// tests compare all three.
+
+// screenAVX2 gates the assembly kernel on CPU and OS support.
+var screenAVX2 = detectScreenAVX2()
+
+// screen8 carries one prescreen sweep's operands to assembly. Field
+// offsets are fixed by the 8-byte layout and asserted below; the .s
+// file indexes them by constant.
+type screen8 struct {
+	p0, p1, p2, p3, p4 *float32  // +0..+32: channel planes at the window start
+	refc               *dna.Code // +40: reference codes, one byte per position
+	out                *uint8    // +48: tested/keep/valid bytes, 3 per block
+	blocks             int64     // +56
+	minDepth           float64   // +64
+	hetFrac            float64   // +72
+	diploid            int64     // +80: 1 when ploidy is diploid
+	hetOn              int64     // +88: 1 when hetFrac > 0
+	maxf               float32   // +96: math.MaxFloat32 (validity upper bound)
+}
+
+// Compile-time layout assertions: a non-zero difference makes the array
+// length negative and the package fails to build.
+var (
+	_ [unsafe.Offsetof(screen8{}.refc) - 40]struct{}
+	_ [unsafe.Offsetof(screen8{}.out) - 48]struct{}
+	_ [unsafe.Offsetof(screen8{}.blocks) - 56]struct{}
+	_ [unsafe.Offsetof(screen8{}.minDepth) - 64]struct{}
+	_ [unsafe.Offsetof(screen8{}.diploid) - 80]struct{}
+	_ [unsafe.Offsetof(screen8{}.maxf) - 96]struct{}
+)
+
+//go:noescape
+func prescreenBlocksAVX2(a *screen8)
+
+// cpuidex and xgetbv0 are implemented in screen_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// detectScreenAVX2 reports whether the CPU supports AVX2 and the OS
+// preserves YMM state across context switches (the same probe the
+// batched PHMM kernels use).
+func detectScreenAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0
+}
+
+// prescreenBlocksSIMD runs the AVX2 kernel when the host supports it,
+// reporting false (untouched out) otherwise so the caller falls back
+// to the generic loop.
+func prescreenBlocksSIMD(planes *[dna.NumChannels][]float32, start int, refc []dna.Code, out []uint8, blocks int, minDepth, hetFrac float64, diploid bool) bool {
+	if !screenAVX2 {
+		return false
+	}
+	if blocks == 0 {
+		return true
+	}
+	a := screen8{
+		p0:       &planes[0][start],
+		p1:       &planes[1][start],
+		p2:       &planes[2][start],
+		p3:       &planes[3][start],
+		p4:       &planes[4][start],
+		refc:     &refc[0],
+		out:      &out[0],
+		blocks:   int64(blocks),
+		minDepth: minDepth,
+		hetFrac:  hetFrac,
+		maxf:     maxFinite32,
+	}
+	if diploid {
+		a.diploid = 1
+	}
+	if hetFrac > 0 {
+		a.hetOn = 1
+	}
+	prescreenBlocksAVX2(&a)
+	return true
+}

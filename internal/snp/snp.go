@@ -82,6 +82,14 @@ type Config struct {
 	// 2048, so chunks stay large enough to amortize dispatch but small
 	// enough to balance load).
 	CallChunk int
+	// CallVector selects the plane-streaming vectorized sweep
+	// (screen_vector.go): 0 (the default) uses it wherever the frozen
+	// view exposes NORM planes, a negative value forces the scalar
+	// per-position loop everywhere. The vectorized sweep is
+	// bit-identical to the scalar one by construction, so this is an
+	// execution knob like CallWorkers — it is deliberately absent from
+	// checkpoint fingerprints and may change freely across a resume.
+	CallVector int
 	// Metrics, when non-nil, receives the caller's stage timers and
 	// counters (call.collect.seconds, call.finalize.seconds,
 	// call.tested, call.prescreened, call.significant, call.snps; the
@@ -191,6 +199,20 @@ func CollectRange(ref *genome.Reference, acc genome.Accumulator, offset, from, t
 	fz, fzErr := genome.Freeze(acc)
 	if fzErr != nil {
 		fz = nil
+	}
+	if vectorEligible(&cfg, fz) {
+		// Plane-streaming vectorized sweep: classifies 8-position lane
+		// blocks straight off the frozen NORM planes and batches the
+		// LRT over the survivors. Bit-identical to the loop below by
+		// construction (see screen_vector.go).
+		candidates, tested, screened, err := collectRangeVector(ref, fz, offset, from, to, &cfg)
+		st.Tested = tested
+		if err != nil {
+			return nil, st, err
+		}
+		cfg.Metrics.Counter("call.tested").Add(int64(tested))
+		cfg.Metrics.Counter("call.prescreened").Add(screened)
+		return candidates, st, nil
 	}
 	var candidates []Candidate
 	var screened int64
