@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-phmm bench-stream bench-call fuzz chaos chaos-resume metrics check
+.PHONY: build test race vet bench bench-phmm bench-stream bench-call bench-index fuzz chaos chaos-resume metrics check
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # property tests, including the lrt batch evaluator) and the FASTQ
 # parser (fuzz seed corpus).
 race:
-	$(GO) test -race . ./internal/core/... ./internal/phmm/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/lrt/... ./internal/obs/... ./internal/fastq/... ./internal/ckpt/...
+	$(GO) test -race . ./internal/core/... ./internal/phmm/... ./internal/cluster/... ./internal/genome/... ./internal/snp/... ./internal/lrt/... ./internal/obs/... ./internal/fastq/... ./internal/ckpt/... ./internal/kmer/...
 
 vet:
 	$(GO) vet ./...
@@ -45,10 +45,19 @@ bench-stream:
 bench-call:
 	$(GO) run ./cmd/snpbench -exp call -length 150000 -coverage 6
 
-# Short coverage-guided fuzz pass over the FASTQ parser (the checked-in
-# seed corpus always runs as part of plain `go test`).
+# Large-seed index vs the k=10 direct table: candidate selectivity,
+# throughput, accuracy, and the mmap persistence leg (writes
+# BENCH_index.json; the CI gate asserts the selectivity ratio, the
+# load speedup, and VCF identity through a save/load cycle).
+bench-index:
+	$(GO) run ./cmd/snpbench -exp index -length 400000 -coverage 12
+
+# Short coverage-guided fuzz passes: the FASTQ parser and the on-disk
+# seed-index decoder (both checked-in seed corpora always run as part
+# of plain `go test`).
 fuzz:
 	$(GO) test -fuzz FuzzReaderNext -fuzztime 20s ./internal/fastq/
+	$(GO) test -fuzz FuzzDecodeIndex -fuzztime 20s ./internal/kmer/
 
 # Fault-tolerance gate: seeded chaos collectives, crash/heartbeat
 # detection, TCP hardening, and degraded-mode read-split — all

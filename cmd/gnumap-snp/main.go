@@ -96,6 +96,9 @@ func run() error {
 		alpha      = flag.Float64("alpha", 0.05, "family-wise significance level")
 		fdr        = flag.Bool("fdr", false, "Benjamini-Hochberg FDR control instead of the fixed cutoff")
 		memory     = flag.String("memory", "norm", "accumulator layout: norm, chardisc, centdisc")
+		seedLen    = flag.Int("seed-len", 0, "seed length k (0 = default 10; >14 selects the frequency-capped large-seed index)")
+		indexPath  = flag.String("index", "", "mmap a persisted seed index built by -index-write; validated against the reference, and sets the seed length from the file when -seed-len is unset")
+		indexWrite = flag.String("index-write", "", "build the large-seed index (requires -seed-len > 14), persist it to this file, and continue mapping")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "shared-memory worker count")
 		accumMode  = flag.String("accum-mode", "auto", "accumulator write strategy: auto, striped (lock stripes on one shared copy), or sharded (lock-free per-worker shards, merged before calling)")
 		callWk     = flag.Int("call-workers", 0, "calling-sweep worker count (0 = GOMAXPROCS, 1 = serial; results are bit-identical regardless)")
@@ -232,6 +235,42 @@ func run() error {
 		}
 	}
 	opts := gnumap.Options{Memory: mem}
+	opts.Engine.K = *seedLen
+	switch {
+	case *indexPath != "" && *indexWrite != "":
+		return fmt.Errorf("-index and -index-write are mutually exclusive")
+	case *indexPath != "":
+		ix, err := gnumap.OpenSeedIndex(*indexPath, reference)
+		if err != nil {
+			return fmt.Errorf("open seed index: %w", err)
+		}
+		defer ix.Close()
+		if *seedLen != 0 && *seedLen != ix.K() {
+			return fmt.Errorf("-seed-len %d conflicts with %s (built for k=%d)", *seedLen, *indexPath, ix.K())
+		}
+		opts.Engine.K = ix.K()
+		opts.Engine.SeedIndex = ix
+		fmt.Fprintf(os.Stderr, "seed index: %s mapped (k=%d, %s)\n",
+			*indexPath, ix.K(), humanBytes(ix.MemoryBytes()))
+	case *indexWrite != "":
+		if *seedLen <= 14 {
+			return fmt.Errorf("-index-write persists the large-seed index: set -seed-len above 14 (got %d)", *seedLen)
+		}
+		built, err := gnumap.BuildSeedIndex(reference, *seedLen)
+		if err != nil {
+			return err
+		}
+		lix, ok := built.(*gnumap.LargeSeedIndex)
+		if !ok {
+			return fmt.Errorf("seed-len %d did not build a persistable index", *seedLen)
+		}
+		n, err := gnumap.SaveSeedIndex(*indexWrite, lix, reference)
+		if err != nil {
+			return fmt.Errorf("write seed index: %w", err)
+		}
+		opts.Engine.SeedIndex = lix
+		fmt.Fprintf(os.Stderr, "seed index: wrote %s (k=%d, %s)\n", *indexWrite, *seedLen, humanBytes(n))
+	}
 	opts.Engine.Workers = *workers
 	opts.Engine.Band = *band
 	// Config semantics: 0 means "default width", so the flag's 0=off
@@ -494,6 +533,20 @@ func parseCheckpointEvery(s string) (int64, time.Duration, error) {
 }
 
 // writeTo creates a file and hands it to fn.
+// humanBytes renders a byte count for status lines.
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
 func writeTo(path string, fn func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {

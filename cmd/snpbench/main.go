@@ -36,10 +36,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("snpbench: ")
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, stream, call, metrics, all")
+		exp        = flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, ablations, sweep, phmm, stream, call, metrics, index, all")
 		benchOut   = flag.String("benchout", "BENCH_phmm.json", "output path for the phmm kernel benchmark JSON")
 		streamOut  = flag.String("streamout", "BENCH_stream.json", "output path for the streaming pipeline benchmark JSON")
 		callOut    = flag.String("callout", "BENCH_call.json", "output path for the parallel post-map phase benchmark JSON")
+		indexOut   = flag.String("indexout", "BENCH_index.json", "output path for the large-seed index benchmark JSON")
+		seedLen    = flag.Int("seed-len", 20, "large seed length for the index experiment")
+		selLength  = flag.Int("sel-length", 0, "selectivity genome length for the index experiment (default 12 Mbp)")
 		length     = flag.Int("length", 400_000, "simulated genome length")
 		snps       = flag.Int("snps", 0, "planted SNP count (default: paper density, length/10500)")
 		coverage   = flag.Float64("coverage", 12, "read coverage")
@@ -95,7 +98,7 @@ func main() {
 		wants[strings.TrimSpace(e)] = true
 	}
 	all := wants["all"]
-	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["phmm"] || wants["stream"] || wants["call"] || wants["metrics"]
+	needData := all || wants["table1"] || wants["table3"] || wants["fig4"] || wants["fig5"] || wants["ablations"] || wants["sweep"] || wants["phmm"] || wants["stream"] || wants["call"] || wants["metrics"] || wants["index"]
 
 	var ds *experiments.Dataset
 	if needData {
@@ -160,6 +163,10 @@ func main() {
 	}
 	if all || wants["metrics"] {
 		runMetrics(ds, *metricsOut)
+		ran = true
+	}
+	if all || wants["index"] {
+		runIndex(ds, *workers, *seedLen, *selLength, *indexOut)
 		ran = true
 	}
 	if !ran {
@@ -329,6 +336,54 @@ func runPhmmBench(ds *experiments.Dataset, workers, phmmBatch int, outPath strin
 		Input:      fmt.Sprintf("62bp read vs 78bp window, diag 8; engine: %d reads, workers=%d", len(ds.Reads), workers),
 		Rows:       rows,
 		EngineRows: engineRows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+}
+
+// runIndex compares the k=10 direct table against the SNAP-style
+// large-seed index (candidate selectivity, throughput, accuracy) plus
+// the mmap persistence leg, writing BENCH_index.json for the CI gate.
+func runIndex(ds *experiments.Dataset, workers, seedLen, selLength int, outPath string) {
+	fmt.Printf("INDEX — k=10 direct table vs s=%d large-seed index\n", seedLen)
+	rep, err := experiments.IndexBench(ds, experiments.IndexBenchConfig{
+		Workers: workers, LargeSeedLen: seedLen, SelGenomeLen: selLength,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %5s %8s %10s %10s %9s %9s %12s %7s %7s %10s %10s\n",
+		"dataset", "k", "reads", "hits/rd", "cand/rd", "align/rd", "build", "reads/sec", "TP", "FP", "precision", "recall")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-20s %5d %8d %10.1f %10.2f %9.2f %8.2fs %12.0f %7d %7d %9.1f%% %9.1f%%\n",
+			r.Dataset, r.SeedLen, r.Reads, r.SeedHitsPerRead, r.CandidatesPerRead,
+			r.AlignmentsPerRead, r.BuildSeconds, r.ReadsPerSec,
+			r.TP, r.FP, 100*r.Precision, 100*r.Recall)
+	}
+	p := rep.Persist
+	fmt.Printf("\nPERSIST — s=%d over %d bp: %s file, build %.2fs, write %.3fs, mmap load %.6fs (%.0fx), vcf identical: %v\n",
+		p.SeedLen, p.GenomeLen, human(p.FileBytes), p.BuildSeconds, p.WriteSeconds,
+		p.LoadSeconds, p.LoadSpeedup, p.VCFIdentical)
+	report := struct {
+		Generated string                      `json:"generated"`
+		GoOS      string                      `json:"goos"`
+		GoArch    string                      `json:"goarch"`
+		Input     string                      `json:"input"`
+		Rows      []experiments.IndexBenchRow `json:"rows"`
+		Persist   experiments.IndexPersistRow `json:"persist"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Input:     fmt.Sprintf("accuracy: %d reads on %d bp; workers=%d", len(ds.Reads), ds.Ref.Len(), workers),
+		Rows:      rep.Rows,
+		Persist:   rep.Persist,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"gnumap/internal/fasta"
 	"gnumap/internal/fastq"
 	"gnumap/internal/genome"
+	"gnumap/internal/kmer"
 	"gnumap/internal/lrt"
 	"gnumap/internal/obs"
 	"gnumap/internal/phmm"
@@ -397,6 +398,60 @@ func (p *Pipeline) AccumulatorMemoryBytes() int64 { return p.acc.MemoryBytes() }
 
 // IndexMemoryBytes reports the k-mer index footprint.
 func (p *Pipeline) IndexMemoryBytes() int64 { return p.eng.IndexMemoryBytes() }
+
+// SeedIndex is a candidate-generating seed index (the direct k<=14
+// table or the frequency-capped large-seed index). Pass one via
+// Options.Engine.SeedIndex to skip the per-run index build.
+type SeedIndex = kmer.SeedIndex
+
+// LargeSeedIndex is the SNAP-style frequency-capped index for seed
+// lengths above kmer.MaxDirectK; it is the only variant that persists
+// to disk.
+type LargeSeedIndex = kmer.LargeIndex
+
+// SeedIndexInfo describes a persisted seed-index file's header.
+type SeedIndexInfo = kmer.IndexInfo
+
+// BuildSeedIndex builds a seed index of length seedLen over the
+// concatenated reference: the direct table for seedLen <= 14, the
+// large-seed index above.
+func BuildSeedIndex(reference []*Contig, seedLen int) (SeedIndex, error) {
+	ref, err := genome.NewReference(reference)
+	if err != nil {
+		return nil, err
+	}
+	return kmer.Build(ref.Seq(), seedLen)
+}
+
+// SaveSeedIndex atomically persists a large-seed index for the given
+// reference; the file records the reference SHA-256 and length so
+// OpenSeedIndex can refuse an index built for different data.
+func SaveSeedIndex(path string, ix *LargeSeedIndex, reference []*Contig) (int64, error) {
+	ref, err := genome.NewReference(reference)
+	if err != nil {
+		return 0, err
+	}
+	return kmer.WriteIndexFile(path, ix, ref.Digest(), int64(ref.Len()))
+}
+
+// OpenSeedIndex memory-maps a persisted seed index, pinning it to the
+// given reference (kmer.ErrRefMismatch when the file was built for
+// other data). Close the index after the last pipeline using it.
+func OpenSeedIndex(path string, reference []*Contig) (*LargeSeedIndex, error) {
+	ref, err := genome.NewReference(reference)
+	if err != nil {
+		return nil, err
+	}
+	return kmer.LoadIndexFile(path, kmer.LoadOptions{
+		RefDigest: ref.Digest(), RefLen: int64(ref.Len()),
+	})
+}
+
+// ReadSeedIndexInfo reads a persisted index's validated header without
+// loading its sections.
+func ReadSeedIndexInfo(path string) (SeedIndexInfo, error) {
+	return kmer.ReadIndexInfo(path)
+}
 
 // PHMMParams is the Pair-HMM parameter set (transitions and the match
 // emission matrix). Set Options.Engine.PHMM to override the defaults,

@@ -40,8 +40,16 @@ type Config struct {
 	// AlignMode selects Global (paper-faithful windows) or SemiGlobal
 	// (padded windows, the default).
 	AlignMode phmm.Mode
-	// K is the seed k-mer length (default kmer.DefaultK = 10).
+	// K is the seed k-mer length (default kmer.DefaultK = 10). Values
+	// above kmer.MaxDirectK select the frequency-capped large-seed
+	// index (SNAP-style) instead of the direct offset table.
 	K int
+	// SeedIndex, when non-nil, is a prebuilt (or file-loaded) seed
+	// index over the FULL reference, adopted instead of building one at
+	// engine construction; its K() and SeqLen() must match the config
+	// and reference. Genome-split nodes index their own slice and
+	// ignore it.
+	SeedIndex kmer.SeedIndex
 	// Pad is the extra genome context on each side of a candidate
 	// window in SemiGlobal mode (default 8).
 	Pad int
@@ -123,8 +131,11 @@ type Config struct {
 	// map.accum.seconds (accumulator updates), map.read.seconds
 	// (whole-read latency), plus map.candidates / map.alignments /
 	// map.mapped / map.unmapped / map.locations and phmm.cells (DP
-	// cells computed). Nil disables instrumentation; the hot path then
-	// pays only a pointer check.
+	// cells computed). Seed selectivity is tracked by map.seed.hits
+	// (index positions voted), map.seed.masked (read seeds dropped by
+	// MaxBucket), the map.candidates.per.read histogram, and the
+	// index.bytes gauge. Nil disables instrumentation; the hot path
+	// then pays only a pointer check.
 	Metrics *obs.Registry
 }
 
@@ -138,7 +149,11 @@ func (c Config) withDefaults() Config {
 		c.PHMM = phmm.DefaultParams()
 	}
 	if c.K == 0 {
-		c.K = kmer.DefaultK
+		if c.SeedIndex != nil {
+			c.K = c.SeedIndex.K()
+		} else {
+			c.K = kmer.DefaultK
+		}
 	}
 	if c.Pad == 0 {
 		c.Pad = 8
@@ -272,6 +287,8 @@ type engineMetrics struct {
 	seedSec, alignSec, accumSec, readSec *obs.Histogram
 	candidates, alignments, cells        *obs.Counter
 	mapped, unmapped, locations          *obs.Counter
+	seedHits, seedMasked                 *obs.Counter
+	candPerRead                          *obs.Histogram
 }
 
 // alignmentsInc is a nil-safe helper for the inner align loop.
@@ -296,6 +313,10 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		mapped:     reg.Counter("map.mapped"),
 		unmapped:   reg.Counter("map.unmapped"),
 		locations:  reg.Counter("map.locations"),
+		seedHits:   reg.Counter("map.seed.hits"),
+		seedMasked: reg.Counter("map.seed.masked"),
+		candPerRead: reg.Histogram(
+			"map.candidates.per.read", obs.CountBuckets),
 	}
 }
 
@@ -305,7 +326,7 @@ type Engine struct {
 	// band is the resolved PHMM band width (cfg.effectiveBand()).
 	band int
 	ref  *genome.Reference
-	idx  *kmer.Index
+	idx  kmer.SeedIndex
 	// met is nil when Config.Metrics is nil — instrumentation off.
 	met *engineMetrics
 	// indexOffset is the global position of idx position 0 (non-zero
@@ -351,9 +372,25 @@ func newEngineSlice(ref *genome.Reference, lo, hi int, cfg Config) (*Engine, err
 	if lo < 0 || hi > ref.Len() || lo >= hi {
 		return nil, fmt.Errorf("core: slice [%d,%d) of reference length %d", lo, hi, ref.Len())
 	}
-	idx, err := kmer.New(ref.Seq()[lo:hi], cfg.K)
-	if err != nil {
-		return nil, err
+	var idx kmer.SeedIndex
+	if cfg.SeedIndex != nil && lo == 0 && hi == ref.Len() {
+		if cfg.SeedIndex.K() != cfg.K {
+			return nil, fmt.Errorf("core: seed index k=%d, config k=%d", cfg.SeedIndex.K(), cfg.K)
+		}
+		if cfg.SeedIndex.SeqLen() != ref.Len() {
+			return nil, fmt.Errorf("core: seed index covers %d bases, reference has %d",
+				cfg.SeedIndex.SeqLen(), ref.Len())
+		}
+		idx = cfg.SeedIndex
+	} else {
+		built, err := kmer.Build(ref.Seq()[lo:hi], cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		idx = built
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("index.bytes").Set(float64(idx.MemoryBytes()))
 	}
 	return &Engine{
 		cfg: cfg, band: cfg.effectiveBand(), met: newEngineMetrics(cfg.Metrics),
@@ -527,6 +564,7 @@ func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 	// query, so candidates are copied out as they stream.
 	cands := m.scored[:0]
 	bestVotes := int32(0)
+	var seedHits, seedMasked int64
 	for si, p := range strands {
 		for _, cand := range e.idx.CandidatesInto(p.Calls(), opts, &m.candBuf) {
 			cands = append(cands, scoredCand{sc: si, cand: cand})
@@ -534,6 +572,9 @@ func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 				bestVotes = cand.Votes
 			}
 		}
+		// Stats are reset per CandidatesInto call: read them per strand.
+		seedHits += m.candBuf.Stats.Hits
+		seedMasked += m.candBuf.Stats.Masked
 	}
 	m.scored = cands
 	// The seed phase ends here: PWM construction plus k-mer candidate
@@ -543,6 +584,9 @@ func (m *mapper) mapRead(rd *fastq.Read) ([]location, error) {
 		tSeed = time.Now()
 		m.met.seedSec.ObserveDuration(tSeed.Sub(t0))
 		m.met.candidates.Add(int64(len(cands)))
+		m.met.seedHits.Add(seedHits)
+		m.met.seedMasked.Add(seedMasked)
+		m.met.candPerRead.Observe(float64(len(cands)))
 	}
 	voteCut := int32(e.cfg.MinVoteFraction * float64(bestVotes))
 	for _, cs := range cands {

@@ -20,10 +20,49 @@ import (
 // DefaultK is the paper's default mer size.
 const DefaultK = 10
 
-// maxDirectK bounds the direct-addressed offset table at 4^14 entries
+// MaxDirectK bounds the direct-addressed offset table at 4^14 entries
 // (~1 GiB of int32 would be 4^15; 4^14 = 268M entries is already the
-// practical ceiling, and the mapper never needs more).
-const maxDirectK = 14
+// practical ceiling). Longer seeds use the two-level hashed LargeIndex
+// (largeseed.go) instead.
+const MaxDirectK = 14
+
+// SeedIndex is the candidate-generation interface shared by the
+// direct-addressed Index (k <= MaxDirectK) and the hashed LargeIndex.
+// Implementations are immutable after construction and safe for
+// concurrent lookups.
+type SeedIndex interface {
+	// K returns the indexed mer size.
+	K() int
+	// SeqLen returns the length of the indexed sequence.
+	SeqLen() int
+	// MemoryBytes reports the footprint of every retained array.
+	MemoryBytes() int64
+	// Candidates votes the read's seeds into mapping regions.
+	Candidates(read dna.Seq, opt CandidateOptions) []Candidate
+	// CandidatesInto is Candidates with caller-owned scratch.
+	CandidatesInto(read dna.Seq, opt CandidateOptions, buf *CandidateBuf) []Candidate
+}
+
+// seedSource is the per-seed lookup behind the shared voting loop:
+// positions is the stored (possibly frequency-capped) sample for the
+// seed, total its true occurrence count in the reference. The direct
+// Index always stores every occurrence (total == len(positions)); the
+// LargeIndex may truncate hot seeds but still reports the true total so
+// repeat masking sees the real frequency.
+type seedSource interface {
+	K() int
+	lookupTotal(m dna.Kmer) (positions []int32, total int)
+}
+
+// Build constructs the appropriate index representation for k: the
+// direct-addressed Index up to MaxDirectK, the hashed LargeIndex above
+// it (SNAP-style large seeds, up to dna.MaxKmerLen).
+func Build(seq dna.Seq, k int) (SeedIndex, error) {
+	if k > MaxDirectK {
+		return NewLarge(seq, k)
+	}
+	return New(seq, k)
+}
 
 // Index is an immutable k-mer position index over one reference
 // sequence. It is safe for concurrent lookups.
@@ -39,8 +78,8 @@ type Index struct {
 // New builds an index of every k-mer in seq. K-mers containing an
 // ambiguous base are not indexed (the mapper re-seeds around them).
 func New(seq dna.Seq, k int) (*Index, error) {
-	if k <= 0 || k > maxDirectK {
-		return nil, fmt.Errorf("kmer: k=%d out of range [1,%d]", k, maxDirectK)
+	if k <= 0 || k > MaxDirectK {
+		return nil, fmt.Errorf("kmer: k=%d out of range [1,%d]", k, MaxDirectK)
 	}
 	if len(seq) > 1<<31-1 {
 		return nil, fmt.Errorf("kmer: sequence length %d exceeds int32 positions", len(seq))
@@ -110,6 +149,13 @@ func (ix *Index) Lookup(m dna.Kmer) []int32 {
 // BucketSize returns the number of occurrences of the packed k-mer.
 func (ix *Index) BucketSize(m dna.Kmer) int { return len(ix.Lookup(m)) }
 
+// lookupTotal implements seedSource: the direct index stores every
+// occurrence, so the sample is the bucket and the total its length.
+func (ix *Index) lookupTotal(m dna.Kmer) ([]int32, int) {
+	hits := ix.Lookup(m)
+	return hits, len(hits)
+}
+
 // MemoryBytes reports the approximate heap footprint of the index,
 // used by the Table II memory accounting.
 func (ix *Index) MemoryBytes() int64 {
@@ -160,6 +206,19 @@ type CandidateBuf struct {
 	used  []int32
 	cur   uint32
 	out   []Candidate
+	// Stats describes the call that last used this buffer; it is reset
+	// at the top of every CandidatesInto, so callers that want
+	// per-strand selectivity read it between calls.
+	Stats SeedStats
+}
+
+// SeedStats is the selectivity record of one CandidatesInto call: how
+// many seeds were looked up, how many were masked as over-frequent
+// (true occurrence count above MaxBucket), and how many index positions
+// were voted. Hits is the work the diagonal voter actually did — the
+// number the large-seed index exists to shrink.
+type SeedStats struct {
+	Seeds, Masked, Hits int64
 }
 
 // minVoteTable is the initial open-addressing table size; must be a
@@ -243,6 +302,15 @@ func (ix *Index) Candidates(read dna.Seq, opt CandidateOptions) []Candidate {
 // slice aliases buf and is invalidated by the next CandidatesInto call
 // with the same buf.
 func (ix *Index) CandidatesInto(read dna.Seq, opt CandidateOptions, buf *CandidateBuf) []Candidate {
+	return candidatesInto(ix, read, opt, buf)
+}
+
+// candidatesInto is the diagonal-voting loop shared by every index
+// representation. The source supplies, per seed, a stored position
+// sample plus the seed's true occurrence count; repeat masking
+// (MaxBucket) tests the true count so a frequency-capped index masks
+// exactly the seeds the direct index would.
+func candidatesInto(ix seedSource, read dna.Seq, opt CandidateOptions, buf *CandidateBuf) []Candidate {
 	stride := opt.Stride
 	if stride <= 0 {
 		stride = 1
@@ -251,16 +319,21 @@ func (ix *Index) CandidatesInto(read dna.Seq, opt CandidateOptions, buf *Candida
 	if minVotes <= 0 {
 		minVotes = 1
 	}
+	k := ix.K()
 	buf.beginRead()
-	for off := 0; off+ix.k <= len(read); off += stride {
-		m, ok := dna.PackKmer(read, off, ix.k)
+	buf.Stats = SeedStats{}
+	for off := 0; off+k <= len(read); off += stride {
+		m, ok := dna.PackKmer(read, off, k)
 		if !ok {
 			continue
 		}
-		hits := ix.Lookup(m)
-		if opt.MaxBucket > 0 && len(hits) > opt.MaxBucket {
+		buf.Stats.Seeds++
+		hits, total := ix.lookupTotal(m)
+		if opt.MaxBucket > 0 && total > opt.MaxBucket {
+			buf.Stats.Masked++
 			continue
 		}
+		buf.Stats.Hits += int64(len(hits))
 		for _, p := range hits {
 			start := p - int32(off)
 			if opt.Slack > 0 {

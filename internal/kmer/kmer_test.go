@@ -9,7 +9,7 @@ import (
 
 func TestNewRejectsBadK(t *testing.T) {
 	s := dna.MustParseSeq("ACGT")
-	for _, k := range []int{0, -1, maxDirectK + 1} {
+	for _, k := range []int{0, -1, MaxDirectK + 1} {
 		if _, err := New(s, k); err == nil {
 			t.Errorf("k=%d: expected error", k)
 		}

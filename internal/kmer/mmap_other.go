@@ -1,0 +1,19 @@
+//go:build !unix
+
+package kmer
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy load path in LoadIndexFile; on
+// platforms without syscall.Mmap the loader always takes the portable
+// read + decode-copy path.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("kmer: mmap unsupported on this platform")
+}
+
+func munmap(b []byte) error { return nil }

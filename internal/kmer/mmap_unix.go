@@ -1,0 +1,27 @@
+//go:build unix
+
+package kmer
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load path in LoadIndexFile.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so the kernel
+// page cache backs the index and repeated runs share one copy.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > int64(^uint(0)>>1) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

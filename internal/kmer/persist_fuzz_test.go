@@ -1,0 +1,59 @@
+package kmer
+
+import (
+	"crypto/sha256"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gnumap/internal/dna"
+)
+
+// FuzzDecodeIndex: whatever bytes arrive, DecodeIndex must either
+// return an index that survives lookups and candidate generation, or an
+// error wrapping exactly one of the typed sentinels — never a panic,
+// never an unclassified failure. Mirrors ckpt.FuzzDecode.
+func FuzzDecodeIndex(f *testing.F) {
+	rng := rand.New(rand.NewSource(55))
+	seq := randSeq(rng, 600, 0.01)
+	ix, err := NewLargeWith(seq, 18, LargeConfig{MaxStore: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("fuzz-reference"))
+	img := EncodeIndex(ix, digest, int64(len(seq)))
+	f.Add(img)
+	f.Add(img[:len(img)-3])
+	f.Add(img[:ixPage])
+	f.Add(img[:50])
+	f.Add([]byte{})
+	f.Add([]byte("GNUMAPIX"))
+	flip := append([]byte(nil), img...)
+	flip[ixPage+9] ^= 0x40
+	f.Add(flip)
+	shift := append([]byte(nil), img...)
+	shift[9] = 0x02 // version field
+	f.Add(shift)
+
+	sentinels := []error{ErrNotIndex, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt, ErrRefMismatch}
+	read := randSeq(rand.New(rand.NewSource(2)), 40, 0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeIndex(data)
+		if err != nil {
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// A decode that succeeds must be safe to query.
+		for _, m := range []dna.Kmer{0, 1, dna.Kmer(1)<<35 - 1} {
+			got.Lookup(m)
+			got.BucketSize(m)
+		}
+		got.Candidates(read, CandidateOptions{MinVotes: 1, MaxBucket: 100, MaxCandidates: 4})
+		got.Summary()
+		got.MemoryBytes()
+	})
+}

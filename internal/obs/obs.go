@@ -104,6 +104,12 @@ var DurationBuckets = []float64{
 	1.048576, 4.194304, 16.777216,
 }
 
+// CountBuckets is the default ladder for small-count distributions
+// (candidates per read, hits per seed): 0, then powers of two to 4096.
+var CountBuckets = []float64{
+	0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+}
+
 // Observe records one observation. No-op on a nil receiver.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
